@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure reproduction binaries.
+ *
+ * Each bench_* binary regenerates one table or figure of the paper
+ * (see DESIGN.md Section 5). Run length is controlled by
+ * D2M_INSTS_PER_CORE (measured instructions per core; an equal warmup
+ * precedes measurement) — the default keeps every binary in the
+ * minutes range; raise it for tighter numbers.
+ */
+
+#ifndef D2M_BENCH_BENCH_COMMON_HH
+#define D2M_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+namespace d2m::bench
+{
+
+/** Default measured instructions per core for bench sweeps. */
+inline std::uint64_t
+benchInsts()
+{
+    if (const std::uint64_t env = instsPerCoreOverride())
+        return env;
+    return 100'000;
+}
+
+/** Sweep options shared by the bench binaries. */
+inline SweepOptions
+benchOptions()
+{
+    SweepOptions opts;
+    opts.instsPerCore = benchInsts();
+    opts.warmupInstsPerCore = ~std::uint64_t(0);  // default: = measured
+    opts.verbose = std::getenv("D2M_QUIET") == nullptr;
+    return opts;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s\n", what);
+    std::printf("Reproduces: %s\n", paper_ref);
+    std::printf("Measured instructions/core: %llu (+ equal warmup); "
+                "override with D2M_INSTS_PER_CORE\n",
+                static_cast<unsigned long long>(benchInsts()));
+    std::printf("==================================================="
+                "=========================\n\n");
+}
+
+/** Workloads after env filtering (D2M_SUITE_FILTER / D2M_BENCH_FILTER). */
+inline std::vector<NamedWorkload>
+benchWorkloads()
+{
+    return filteredWorkloads(allSuites());
+}
+
+/** A run that keeps the system alive for event-counter inspection. */
+struct RawRun
+{
+    std::unique_ptr<MemorySystem> system;
+    RunResult result;
+};
+
+/** Like runOne but returns the system (for D2M event counters). */
+inline RawRun
+runRaw(ConfigKind kind, const NamedWorkload &wl,
+       SweepOptions opts = benchOptions())
+{
+    RawRun out;
+    out.system = makeSystem(kind, opts.baseParams);
+    std::uint64_t measured = opts.instsPerCore
+                                 ? opts.instsPerCore
+                                 : wl.params.instructionsPerCore;
+    auto streams = makeStreams(wl, out.system->params().numNodes,
+                               out.system->params().lineSize,
+                               2 * measured);
+    RunOptions ropts = opts.runOptions;
+    ropts.warmupInstsPerCore = measured;
+    out.result = runMulticore(*out.system, streams, ropts);
+    return out;
+}
+
+/** One representative benchmark per suite (for expensive ablations). */
+inline std::vector<NamedWorkload>
+representativeWorkloads()
+{
+    std::vector<NamedWorkload> reps;
+    for (const auto &wl : benchWorkloads()) {
+        bool have = false;
+        for (const auto &r : reps)
+            have |= r.suite == wl.suite;
+        if (!have)
+            reps.push_back(wl);
+    }
+    return reps;
+}
+
+} // namespace d2m::bench
+
+#endif // D2M_BENCH_BENCH_COMMON_HH

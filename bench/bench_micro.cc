@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's building blocks:
+ * metadata store lookups, tag-less vs tag-based cache access, LI
+ * encode/decode, and single-access protocol paths. These measure the
+ * simulator itself (host-side cost), complementing the modeled
+ * latency/energy numbers of the other bench binaries.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/base_system.hh"
+#include "common/rng.hh"
+#include "d2m/d2m_system.hh"
+#include "harness/configs.hh"
+
+namespace
+{
+
+using namespace d2m;
+
+void
+BM_LiCodecRoundTrip(benchmark::State &state)
+{
+    LiCodec codec(8, 8, 4);
+    std::uint8_t code = 0;
+    for (auto _ : state) {
+        const LocationInfo li = codec.decode(code & 0x3f);
+        benchmark::DoNotOptimize(codec.encode(li));
+        ++code;
+    }
+}
+BENCHMARK(BM_LiCodecRoundTrip);
+
+void
+BM_RegionStoreLookup(benchmark::State &state)
+{
+    SimObject parent("sys");
+    RegionStore<Md2Entry> store("md2", &parent, 4096, 8);
+    Rng rng(1);
+    for (int i = 0; i < 2048; ++i) {
+        Md2Entry &e = store.victimFor(i);
+        e.valid = true;
+        e.key = i;
+        store.markInstalled(e);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(store.find(rng.below(2048)));
+}
+BENCHMARK(BM_RegionStoreLookup);
+
+void
+BM_TaglessDirectAccess(benchmark::State &state)
+{
+    SimObject parent("sys");
+    TaglessCache cache("l1", &parent, 512, 8, 6);
+    Rng rng(2);
+    for (auto _ : state) {
+        const auto set = static_cast<std::uint32_t>(rng.below(64));
+        const auto way = static_cast<std::uint32_t>(rng.below(8));
+        benchmark::DoNotOptimize(cache.at(set, way).value);
+    }
+}
+BENCHMARK(BM_TaglessDirectAccess);
+
+void
+BM_ClassicAssociativeLookup(benchmark::State &state)
+{
+    SimObject parent("sys");
+    ClassicCache cache("llc", &parent, 65536, 32, 6);
+    Rng rng(3);
+    for (int i = 0; i < 4096; ++i) {
+        ClassicLine &slot = cache.victimFor(i);
+        cache.install(slot, i, Mesi::S, i);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.lookup(rng.below(4096)));
+}
+BENCHMARK(BM_ClassicAssociativeLookup);
+
+void
+BM_D2mAccessL1Hit(benchmark::State &state)
+{
+    auto sys = makeSystem(ConfigKind::D2mNsR);
+    MemAccess acc;
+    acc.type = AccessType::LOAD;
+    acc.vaddr = 0x4000'0000;
+    sys->access(0, acc, 0);  // warm
+    Tick now = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys->access(0, acc, ++now));
+}
+BENCHMARK(BM_D2mAccessL1Hit);
+
+void
+BM_BaselineAccessL1Hit(benchmark::State &state)
+{
+    auto sys = makeSystem(ConfigKind::Base2L);
+    MemAccess acc;
+    acc.type = AccessType::LOAD;
+    acc.vaddr = 0x4000'0000;
+    sys->access(0, acc, 0);
+    Tick now = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys->access(0, acc, ++now));
+}
+BENCHMARK(BM_BaselineAccessL1Hit);
+
+void
+BM_D2mAccessMissStream(benchmark::State &state)
+{
+    auto sys = makeSystem(ConfigKind::D2mNsR);
+    MemAccess acc;
+    acc.type = AccessType::LOAD;
+    Addr v = 0x4000'0000;
+    Tick now = 0;
+    for (auto _ : state) {
+        acc.vaddr = v;
+        v += 64;
+        benchmark::DoNotOptimize(sys->access(0, acc, ++now));
+    }
+}
+BENCHMARK(BM_D2mAccessMissStream);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section V-B: SRAM structure pressure. The paper reports D2M's MD3
+ * accessed 11% as often as Base-2L's directory and 27% as often as
+ * Base-3L's; MD2 accessed 58% as often as Base-3L's L2 tags.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace d2m;
+    using namespace d2m::bench;
+
+    banner("Section V-B: SRAM pressure (MD3 vs directory, MD2 vs L2 "
+           "tags)",
+           "Sembrant et al., HPCA'17, Section V-B (11% / 27% / 58%)");
+
+    const auto workloads = benchWorkloads();
+    const std::vector<ConfigKind> configs{
+        ConfigKind::Base2L, ConfigKind::Base3L, ConfigKind::D2mNsR};
+    const auto rows = runSweep(configs, workloads, benchOptions());
+
+    double md3 = 0, dir2 = 0, dir3 = 0, md2 = 0, l2tags = 0;
+    for (const auto &name : benchmarksIn(rows)) {
+        const Metrics *b2 = findRow(rows, name, "Base-2L");
+        const Metrics *b3 = findRow(rows, name, "Base-3L");
+        const Metrics *d = findRow(rows, name, "D2M-NS-R");
+        if (!b2 || !b3 || !d)
+            continue;
+        md3 += static_cast<double>(d->dirOrMd3Accesses);
+        dir2 += static_cast<double>(b2->dirOrMd3Accesses);
+        dir3 += static_cast<double>(b3->dirOrMd3Accesses);
+        md2 += static_cast<double>(d->md2Accesses);
+        // Base-3L L2 tag accesses are counted per way; normalize to
+        // lookups (8 ways per search).
+        l2tags += static_cast<double>(b3->l2TagAccesses) / 8.0;
+    }
+
+    TextTable table({"comparison", "measured", "paper"});
+    table.addRow({"MD3 accesses / Base-2L directory accesses",
+                  fmt(dir2 > 0 ? 100.0 * md3 / dir2 : 0, 0) + "%",
+                  "11%"});
+    table.addRow({"MD3 accesses / Base-3L directory accesses",
+                  fmt(dir3 > 0 ? 100.0 * md3 / dir3 : 0, 0) + "%",
+                  "27%"});
+    table.addRow({"MD2 accesses / Base-3L L2 tag lookups",
+                  fmt(l2tags > 0 ? 100.0 * md2 / l2tags : 0, 0) + "%",
+                  "58%"});
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extending the library: plugging a custom NS-LLC placement policy
+ * into the D2M mechanism.
+ *
+ * The paper stresses that "D2M's contribution is in the mechanism,
+ * not the policy" (footnote 3) — the split hierarchy decouples
+ * placement from addressing, so policies are swappable. This example
+ * implements a round-robin "capacity spreading" placement and
+ * compares it with the paper's pressure heuristic on a
+ * capacity-imbalanced workload.
+ *
+ * (Policies are value types on SystemParams hooks where exposed; the
+ * placement policy interface lives in d2m/policies.hh. Here we
+ * exercise the interface directly and then run whole systems with the
+ * two built-in behaviors for comparison.)
+ */
+
+#include <cstdio>
+
+#include "d2m/policies.hh"
+#include "harness/runner.hh"
+
+namespace
+{
+
+using namespace d2m;
+
+/** A naive alternative policy: spread allocations round-robin. */
+class RoundRobinPlacement : public NsPlacementPolicy
+{
+  public:
+    explicit RoundRobinPlacement(unsigned slices) : slices_(slices) {}
+
+    void recordReplacement(std::uint32_t) override {}
+    void exchangeEpoch() override {}
+
+    std::uint32_t
+    chooseSlice(NodeId) override
+    {
+        return next_++ % slices_;
+    }
+
+  private:
+    unsigned slices_;
+    unsigned next_ = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace d2m;
+
+    // Exercise the policy interface directly: the pressure policy
+    // keeps an unpressured node local; round-robin does not.
+    PressurePlacementPolicy pressure(4, 0.2, 1);
+    RoundRobinPlacement rr(4);
+    unsigned pressure_local = 0, rr_local = 0;
+    for (int i = 0; i < 100; ++i) {
+        pressure_local += pressure.chooseSlice(0) == 0;
+        rr_local += rr.chooseSlice(0) == 0;
+    }
+    std::printf("policy probe (node 0, no pressure): pressure keeps "
+                "%u%% local, round-robin %u%%\n\n",
+                pressure_local, rr_local);
+
+    // System-level comparison on an imbalanced workload: core 0 works
+    // on a big footprint, the others are nearly idle. The pressure
+    // heuristic lets core 0 overflow into its neighbors' slices.
+    WorkloadParams heavy;
+    heavy.instructionsPerCore = 100'000;
+    heavy.privateFootprint = 3 << 20;
+    heavy.streamFraction = 0.1;
+    heavy.hotDataFraction = 0.55;
+    heavy.warmDataFraction = 0.3;
+    heavy.seed = 17;
+    const NamedWorkload wl{"example", "imbalanced", heavy};
+
+    SweepOptions local_only;
+    local_only.verbose = false;
+    local_only.baseParams.nsRemoteAllocShare = 0.0;  // never spill
+    SweepOptions paper;
+    paper.verbose = false;
+    paper.baseParams.nsRemoteAllocShare = 0.20;      // 80/20 heuristic
+
+    const Metrics m_local = runOne(ConfigKind::D2mNs, wl, local_only);
+    const Metrics m_paper = runOne(ConfigKind::D2mNs, wl, paper);
+
+    std::printf("%-28s %14s %16s\n", "D2M-NS placement", "always-local",
+                "pressure 80/20");
+    std::printf("%-28s %14.3f %16.3f\n", "IPC", m_local.ipc, m_paper.ipc);
+    std::printf("%-28s %14.1f %16.1f\n", "avg miss latency",
+                m_local.avgMissLatency, m_paper.avgMissLatency);
+    std::printf("%-28s %14.0f %16.0f\n", "LLC services local %",
+                m_local.nsLocalPct, m_paper.nsLocalPct);
+    std::printf("\nSwap in your own NsPlacementPolicy / "
+                "ReplicationPolicy (d2m/policies.hh) to explore the\n"
+                "NUCA policy space on top of the D2M mechanism.\n");
+    return 0;
+}

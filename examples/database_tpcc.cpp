@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Database scenario: the paper's strongest result. TPC-C-like
+ * execution (huge instruction footprint, shared buffer pool) is where
+ * D2M-NS-R gains the most (+28% over Base-2L in the paper), because
+ * the near-side LLC automatically acts as a large private instruction
+ * L2 (1 MiB slice vs Base-3L's 256 KiB L2).
+ *
+ * This example uses the shipped `database/tpcc` preset and contrasts
+ * Base-3L's dedicated L2 against D2M's borrowed slice capacity.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+int
+main()
+{
+    using namespace d2m;
+
+    NamedWorkload tpcc;
+    for (const auto &wl : databaseSuite()) {
+        if (wl.name == "tpcc")
+            tpcc = wl;
+    }
+
+    std::printf("TPC-C-like workload: %0.1f MiB instruction footprint, "
+                "%0.1f MiB shared buffer pool\n\n",
+                tpcc.params.codeFootprint / 1048576.0,
+                tpcc.params.sharedFootprint / 1048576.0);
+
+    SweepOptions opts;
+    opts.verbose = false;
+    opts.instsPerCore = 120'000;
+
+    std::printf("%-10s %8s %10s %12s %12s %10s\n", "system", "IPC",
+                "speedup", "I near-hit%", "miss lat", "EDP");
+    double base_ipc = 0, base_edp = 0;
+    for (ConfigKind kind : allConfigs()) {
+        const Metrics m = runOne(kind, tpcc, opts);
+        if (kind == ConfigKind::Base2L) {
+            base_ipc = m.ipc;
+            base_edp = m.edp;
+        }
+        std::printf("%-10s %8.3f %+9.1f%% %12.0f %12.0f %9.2fx\n",
+                    m.config.c_str(), m.ipc,
+                    100.0 * (m.ipc / base_ipc - 1), m.nearHitRatioI,
+                    m.avgMissLatency, m.edp / base_edp);
+    }
+
+    std::printf("\nThe 1 MiB NS slice out-captures Base-3L's 256 KiB L2 "
+                "for the instruction\nworking set, without Base-3L's "
+                "extra level of lookup latency or its ~1 MiB\nof "
+                "additional SRAM per four cores (paper Figure 4 and "
+                "Section V-D).\n");
+    return 0;
+}

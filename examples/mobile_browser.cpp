@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Mobile-browser scenario: the paper's motivating workload class for
+ * the near-side LLC with replication.
+ *
+ * Chrome-style execution: multiple renderer processes (disjoint
+ * address spaces) running the same multi-megabyte binary (physically
+ * shared text). The instruction footprint dwarfs the L1-I, and an
+ * out-of-order core cannot hide fetch misses — so where the code
+ * lives in the hierarchy decides performance.
+ *
+ * The example sweeps the five systems and shows how the NS-LLC turns
+ * into "a large private L2 for instructions" (Section V-D) once
+ * replication is enabled.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+int
+main()
+{
+    using namespace d2m;
+
+    WorkloadParams params;
+    params.instructionsPerCore = 120'000;
+    params.codeFootprint = 2 << 20;   // 2 MiB of hot browser code
+    params.branchiness = 0.4;
+    params.hotCodeFraction = 0.8;
+    params.warmCodeFraction = 0.17;
+    params.avgRunLength = 9;
+    params.privateFootprint = 2 << 20;
+    params.disjointAsids = true;      // one process per core...
+    params.sharedCode = true;         // ...sharing the binary's text
+    params.memOpsPerInst = 0.3;
+    params.seed = 7;
+    const NamedWorkload wl{"example", "browser", params};
+
+    std::printf("Mobile browser: 2 MiB shared text, 4 renderer "
+                "processes\n\n");
+    std::printf("%-10s %8s %10s %12s %14s %12s\n", "system", "IPC",
+                "speedup", "L1I miss/ki", "near I-hits %", "msgs/ki");
+
+    SweepOptions opts;
+    opts.verbose = false;
+    double base_ipc = 0;
+    for (ConfigKind kind : allConfigs()) {
+        const Metrics m = runOne(kind, wl, opts);
+        if (kind == ConfigKind::Base2L)
+            base_ipc = m.ipc;
+        std::printf("%-10s %8.3f %+9.1f%% %12.1f %14.0f %12.1f\n",
+                    m.config.c_str(), m.ipc,
+                    100.0 * (m.ipc / base_ipc - 1), 10.0 * m.l1iMissPct,
+                    m.nearHitRatioI, m.msgsPerKiloInst);
+    }
+    std::printf("\nReplication (D2M-NS-R) services instruction misses "
+                "from the core's own LLC slice,\nrecovering the "
+                "front-end stalls that dominate this workload class "
+                "(paper Section V-D:\nMobile +21%%, Database +28%% over "
+                "Base-2L).\n");
+    return 0;
+}

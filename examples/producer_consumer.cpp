@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Producer/consumer coherence walkthrough at single-access
+ * granularity: drives a D2M system by hand (no workload generator)
+ * and narrates the protocol events as a region moves through the
+ * Table II classes: uncached -> private -> shared -> (pruned back to)
+ * private.
+ *
+ * Useful as a protocol study companion to the paper's Appendix.
+ */
+
+#include <cstdio>
+
+#include "d2m/d2m_system.hh"
+#include "harness/configs.hh"
+
+namespace
+{
+
+using namespace d2m;
+
+const char *
+className(RegionClass c)
+{
+    switch (c) {
+      case RegionClass::Uncached: return "uncached";
+      case RegionClass::Untracked: return "untracked";
+      case RegionClass::Private: return "private";
+      case RegionClass::Shared: return "shared";
+    }
+    return "?";
+}
+
+void
+report(D2mSystem &sys, std::uint64_t pregion, const char *what)
+{
+    const auto &ev = sys.events();
+    std::printf("  %-44s region=%-9s [B=%llu C=%llu D2=%llu D4=%llu "
+                "inv=%llu]\n",
+                what, className(sys.regionClass(pregion)),
+                static_cast<unsigned long long>(ev.b.value()),
+                static_cast<unsigned long long>(ev.c.value()),
+                static_cast<unsigned long long>(ev.d2.value()),
+                static_cast<unsigned long long>(ev.d4.value()),
+                static_cast<unsigned long long>(
+                    sys.hierStats().invalidationsReceived.value()));
+}
+
+MemAccess
+mk(AccessType t, Addr v, std::uint64_t val = 0)
+{
+    MemAccess a;
+    a.type = t;
+    a.vaddr = v;
+    a.storeValue = val;
+    return a;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace d2m;
+
+    D2mSystem sys("d2m", paramsFor(ConfigKind::D2mFs));
+    const Addr buf = 0x6000'0000;  // the shared buffer
+    const std::uint64_t pregion =
+        sys.pageTable().translate(0, buf) >> sys.params().regionShift();
+
+    std::printf("D2M protocol walkthrough (one region, two cores)\n\n");
+
+    report(sys, pregion, "initial state");
+
+    sys.access(0, mk(AccessType::STORE, buf, 1001), 0);
+    report(sys, pregion, "core 0 produces item (case D4 + write)");
+
+    sys.access(0, mk(AccessType::STORE, buf + 64, 1002), 1);
+    report(sys, pregion, "core 0 produces item 2 (case B, direct)");
+
+    const auto r1 = sys.access(1, mk(AccessType::LOAD, buf), 2);
+    std::printf("    core 1 consumed %llu directly from core 0's L1\n",
+                static_cast<unsigned long long>(r1.loadValue));
+    report(sys, pregion, "core 1 consumes item (case D2 transition)");
+
+    const auto r2 = sys.access(1, mk(AccessType::LOAD, buf + 64), 3);
+    std::printf("    core 1 consumed %llu (case A: direct-to-master)\n",
+                static_cast<unsigned long long>(r2.loadValue));
+    report(sys, pregion, "core 1 consumes item 2 (case A)");
+
+    sys.access(0, mk(AccessType::STORE, buf, 2001), 4);
+    report(sys, pregion, "core 0 overwrites item (case C: invalidate)");
+
+    const auto r3 = sys.access(1, mk(AccessType::LOAD, buf), 5);
+    std::printf("    core 1 re-reads and sees %llu (coherent)\n",
+                static_cast<unsigned long long>(r3.loadValue));
+    report(sys, pregion, "core 1 re-reads after invalidation");
+
+    std::string why;
+    if (!sys.checkInvariants(why)) {
+        std::printf("\nINVARIANT VIOLATION: %s\n", why.c_str());
+        return 1;
+    }
+    std::printf("\nall D2M invariants hold (deterministic LIs, single "
+                "master, PB soundness)\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+#include "baseline/classic_cache.hh"
+
+#include "common/logging.hh"
+
+namespace d2m
+{
+
+ClassicCache::ClassicCache(std::string name, SimObject *parent,
+                           std::uint32_t total_lines, std::uint32_t assoc,
+                           unsigned line_shift, ReplKind repl)
+    : SimObject(std::move(name), parent),
+      geom_(total_lines, assoc, line_shift),
+      lines_(total_lines),
+      repl_(makeReplacement(repl))
+{}
+
+std::vector<ClassicLine *>
+ClassicCache::setWays(std::uint32_t set)
+{
+    std::vector<ClassicLine *> ways(geom_.assoc());
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
+        ways[w] = &lines_[set * geom_.assoc() + w];
+    return ways;
+}
+
+ClassicLine *
+ClassicCache::lookup(Addr line_addr)
+{
+    ClassicLine *line = probe(line_addr);
+    if (line) {
+        ++clock_;
+        repl_->touch(line->repl, clock_);
+    }
+    return line;
+}
+
+ClassicLine *
+ClassicCache::probe(Addr line_addr)
+{
+    const std::uint32_t set = geom_.setIndex(line_addr << geom_.unitShift());
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+        ClassicLine &line = lines_[set * geom_.assoc() + w];
+        if (line.valid() && line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const ClassicLine *
+ClassicCache::probe(Addr line_addr) const
+{
+    return const_cast<ClassicCache *>(this)->probe(line_addr);
+}
+
+ClassicLine &
+ClassicCache::victimFor(Addr line_addr)
+{
+    const std::uint32_t set = geom_.setIndex(line_addr << geom_.unitShift());
+    auto ways = setWays(set);
+    for (auto *way : ways) {
+        if (!way->valid())
+            return *way;
+    }
+    std::vector<ReplState *> states(ways.size());
+    for (size_t i = 0; i < ways.size(); ++i)
+        states[i] = &ways[i]->repl;
+    const std::uint32_t victim = repl_->victim(states, nullptr);
+    return *ways[victim];
+}
+
+void
+ClassicCache::install(ClassicLine &slot, Addr line_addr, Mesi state,
+                      std::uint64_t value)
+{
+    panic_if(slot.valid(), "installing over a valid line; evict first");
+    panic_if(state == Mesi::I, "installing an invalid line");
+    slot.lineAddr = line_addr;
+    slot.state = state;
+    slot.value = value;
+    slot.dirty = false;
+    slot.sharers = 0;
+    slot.owner = invalidNode;
+    ++clock_;
+    repl_->install(slot.repl, clock_);
+}
+
+bool
+ClassicCache::isMru(const ClassicLine &line) const
+{
+    const std::uint32_t set =
+        geom_.setIndex(line.lineAddr << geom_.unitShift());
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+        const ClassicLine &other = lines_[set * geom_.assoc() + w];
+        if (other.valid() && other.repl.lastTouch > line.repl.lastTouch)
+            return false;
+    }
+    return true;
+}
+
+} // namespace d2m

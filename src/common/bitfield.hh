@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bit extraction and insertion helpers, in the style of gem5's
+ * base/bitfield.hh. Bit positions are inclusive, with bit 0 the LSB.
+ */
+
+#ifndef D2M_COMMON_BITFIELD_HH
+#define D2M_COMMON_BITFIELD_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace d2m
+{
+
+/** @return a mask with bits [first, last] set (first >= last). */
+constexpr std::uint64_t
+mask(unsigned first, unsigned last)
+{
+    assert(first >= last && first < 64);
+    const std::uint64_t all = ~std::uint64_t(0);
+    const std::uint64_t top =
+        (first == 63) ? all : ((std::uint64_t(1) << (first + 1)) - 1);
+    return top & (all << last);
+}
+
+/** @return bits [first, last] of @p val, shifted down to bit 0. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned first, unsigned last)
+{
+    return (val & mask(first, last)) >> last;
+}
+
+/** @return bit @p pos of @p val. */
+constexpr bool
+bit(std::uint64_t val, unsigned pos)
+{
+    assert(pos < 64);
+    return (val >> pos) & 1;
+}
+
+/** @return @p val with bits [first, last] replaced by @p field. */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned first, unsigned last,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(first, last);
+    return (val & ~m) | ((field << last) & m);
+}
+
+/** @return the number of set bits in @p val. */
+constexpr unsigned
+popCount(std::uint64_t val)
+{
+    unsigned count = 0;
+    while (val) {
+        val &= val - 1;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace d2m
+
+#endif // D2M_COMMON_BITFIELD_HH

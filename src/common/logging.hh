@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error and status reporting, modeled on gem5's base/logging.hh.
+ *
+ * panic():  an internal simulator bug; aborts.
+ * fatal():  a user error (bad configuration); exits with status 1.
+ * warn():   possibly-incorrect behavior the user should know about.
+ * inform(): normal status messages.
+ */
+
+#ifndef D2M_COMMON_LOGGING_HH
+#define D2M_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace d2m
+{
+
+/** Internal printf-style formatter used by the logging macros. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace d2m
+
+/** Report an internal simulator bug and abort. */
+#define panic(...) \
+    ::d2m::panicImpl(__FILE__, __LINE__, ::d2m::vformat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define fatal(...) \
+    ::d2m::fatalImpl(__FILE__, __LINE__, ::d2m::vformat(__VA_ARGS__))
+
+/** Warn about suspicious but non-fatal behavior. */
+#define warn(...) ::d2m::warnImpl(::d2m::vformat(__VA_ARGS__))
+
+/** Print a normal informational message. */
+#define inform(...) ::d2m::informImpl(::d2m::vformat(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)        \
+    do {                           \
+        if (cond)                  \
+            panic(__VA_ARGS__);    \
+    } while (0)
+
+/** fatal() unless @p cond is false. */
+#define fatal_if(cond, ...)        \
+    do {                           \
+        if (cond)                  \
+            fatal(__VA_ARGS__);    \
+    } while (0)
+
+#endif // D2M_COMMON_LOGGING_HH

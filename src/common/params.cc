@@ -1,0 +1,59 @@
+#include "common/params.hh"
+
+#include "common/intmath.hh"
+
+namespace d2m
+{
+
+unsigned
+SystemParams::lineShift() const
+{
+    return floorLog2(lineSize);
+}
+
+unsigned
+SystemParams::regionShift() const
+{
+    return lineShift() + floorLog2(regionLines);
+}
+
+std::uint32_t
+SystemParams::l1Lines(const CacheParams &c) const
+{
+    return c.sizeBytes / lineSize;
+}
+
+double
+SystemParams::totalSramKib(bool is_d2m, bool has_directory) const
+{
+    double kib = 0.0;
+    const double n = static_cast<double>(numNodes);
+    kib += n * (l1i.sizeBytes + l1d.sizeBytes) / 1024.0;
+    if (l2.present())
+        kib += n * l2.sizeBytes / 1024.0;
+    kib += llc.sizeBytes / 1024.0;
+
+    if (is_d2m) {
+        // Region entry: tag + 16 x 6-bit LI + flags: ~16 bytes.
+        const double md_entry_bytes = 16.0;
+        kib += n * (md1Entries + md2Entries) * md_entry_bytes / 1024.0;
+        kib += md3Entries * (md_entry_bytes + 1.0) / 1024.0;  // + PB bits
+        kib += n * tlb2Entries * 8.0 / 1024.0;
+    } else {
+        // Address tags: ~4 bytes per line at every level.
+        const double lines =
+            n * (l1i.sizeBytes + l1d.sizeBytes + l2.sizeBytes) /
+                static_cast<double>(lineSize) +
+            llc.sizeBytes / static_cast<double>(lineSize);
+        kib += lines * 4.0 / 1024.0;
+        kib += n * tlbEntries * 8.0 / 1024.0;
+        if (has_directory) {
+            // Full-map directory: ~2 bytes per LLC line.
+            kib += (llc.sizeBytes / static_cast<double>(lineSize)) * 2.0 /
+                   1024.0;
+        }
+    }
+    return kib;
+}
+
+} // namespace d2m

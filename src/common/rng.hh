@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator (workload generation, random
+ * replacement, index scrambling seeds) flows through Rng so that runs
+ * are exactly reproducible from a seed.
+ *
+ * The engine is xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef D2M_COMMON_RNG_HH
+#define D2M_COMMON_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace d2m
+{
+
+/** Deterministic xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into the full state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform integer in [0, bound); @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        // Lemire-style rejection-free approximation is fine here: the
+        // simulator only needs statistical uniformity, not crypto.
+        return next() % bound;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(hi >= lo);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace d2m
+
+#endif // D2M_COMMON_RNG_HH

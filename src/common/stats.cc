@@ -1,0 +1,117 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace d2m::stats
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+Counter::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << mean() << " (n=" << count_
+       << ") # " << desc() << "\n";
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     std::uint64_t bucket_width, unsigned num_buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      bucketWidth_(bucket_width), buckets_(num_buckets + 1, 0)
+{
+    panic_if(bucket_width == 0, "histogram bucket width must be > 0");
+    panic_if(num_buckets == 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t weight)
+{
+    const std::uint64_t idx =
+        std::min<std::uint64_t>(v / bucketWidth_, buckets_.size() - 1);
+    buckets_[idx] += weight;
+    samples_ += weight;
+    sum_ += static_cast<double>(v) * static_cast<double>(weight);
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " mean=" << mean() << " n=" << samples_
+       << " # " << desc() << "\n";
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+        if (!buckets_[b])
+            continue;
+        os << prefix << name() << "[" << b * bucketWidth_;
+        if (b + 1 == buckets_.size())
+            os << "+";
+        else
+            os << ".." << (b + 1) * bucketWidth_ - 1;
+        os << "] " << buckets_[b] << "\n";
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    samples_ = 0;
+    sum_ = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_) {
+        auto &siblings = parent_->children_;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
+                       siblings.end());
+    }
+}
+
+std::string
+StatGroup::fullStatPath() const
+{
+    if (!parent_)
+        return name_;
+    return parent_->fullStatPath() + "." + name_;
+}
+
+void
+StatGroup::printStats(std::ostream &os) const
+{
+    const std::string prefix = fullStatPath() + ".";
+    for (const auto *stat : stats_)
+        stat->print(os, prefix);
+    for (const auto *child : children_)
+        child->printStats(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *stat : stats_)
+        stat->reset();
+    for (auto *child : children_)
+        child->resetStats();
+}
+
+} // namespace d2m::stats

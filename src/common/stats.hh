@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A light-weight statistics package in the spirit of gem5's Stats.
+ *
+ * Statistics are owned by StatGroup objects which form a naming
+ * hierarchy ("system.node0.l1d.hits"). Each statistic registers itself
+ * with its group on construction; groups can be dumped recursively.
+ */
+
+#ifndef D2M_COMMON_STATS_HH
+#define D2M_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace d2m::stats
+{
+
+class StatGroup;
+
+/** Base class for a single named statistic. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print "name value # desc" lines for this statistic. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically increasing (or adjustable) scalar counter. */
+class Counter : public StatBase
+{
+  public:
+    Counter(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** An averaged scalar: accumulates samples, reports mean. */
+class Average : public StatBase
+{
+  public:
+    Average(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    void
+    sample(double v, std::uint64_t weight = 1)
+    {
+        sum_ += v * static_cast<double>(weight);
+        count_ += weight;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** A histogram with fixed-width buckets plus an overflow bucket. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              std::uint64_t bucket_width, unsigned num_buckets);
+
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+
+    std::uint64_t totalSamples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    std::uint64_t bucketCount(unsigned b) const { return buckets_[b]; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;  // last bucket = overflow
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of statistics and child groups.
+ *
+ * Groups do not own their children (children are usually members of
+ * the owning simulation object); they only hold pointers for dumping.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &statName() const { return name_; }
+
+    /** Full dotted path from the root group. */
+    std::string fullStatPath() const;
+
+    /** Recursively print all statistics. */
+    void printStats(std::ostream &os) const;
+
+    /** Recursively reset all statistics. Subclasses with non-Stat
+     * counters override and chain to the base. */
+    virtual void resetStats();
+
+    void addStat(StatBase *stat) { stats_.push_back(stat); }
+
+  private:
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace d2m::stats
+
+#endif // D2M_COMMON_STATS_HH

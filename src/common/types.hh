@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ *
+ * Conventions follow gem5: Tick is the absolute simulation time unit,
+ * Cycles counts clock edges, Addr is a byte address (virtual or
+ * physical depending on context).
+ */
+
+#ifndef D2M_COMMON_TYPES_HH
+#define D2M_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace d2m
+{
+
+/** Absolute simulated time, in cycles of the global clock. */
+using Tick = std::uint64_t;
+
+/** A duration measured in clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A byte address (virtual or physical depending on context). */
+using Addr = std::uint64_t;
+
+/** Identifier of a node (core + private hierarchy) in the system. */
+using NodeId = std::uint32_t;
+
+/** Identifier of an address space (process); used by the page table. */
+using AsId = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalidNode = ~NodeId(0);
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr invalidAddr = ~Addr(0);
+
+/** The largest representable tick; used as "never". */
+inline constexpr Tick maxTick = ~Tick(0);
+
+/** Kind of memory reference issued by a core. */
+enum class AccessType : std::uint8_t
+{
+    IFETCH,  //!< Instruction fetch (goes to the L1-I side).
+    LOAD,    //!< Data read.
+    STORE,   //!< Data write.
+};
+
+/** @return true if @p t requires write permission. */
+constexpr bool
+isWrite(AccessType t)
+{
+    return t == AccessType::STORE;
+}
+
+/** @return true if @p t is an instruction fetch. */
+constexpr bool
+isIFetch(AccessType t)
+{
+    return t == AccessType::IFETCH;
+}
+
+} // namespace d2m
+
+#endif // D2M_COMMON_TYPES_HH

@@ -1,0 +1,145 @@
+#include "cpu/multicore.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace d2m
+{
+
+RunResult
+runMulticore(MemorySystem &system,
+             std::vector<std::unique_ptr<AccessStream>> &streams,
+             const RunOptions &opts)
+{
+    const unsigned n = system.params().numNodes;
+    fatal_if(streams.size() != n,
+             "need one stream per node (%u streams, %u nodes)",
+             static_cast<unsigned>(streams.size()), n);
+
+    std::vector<OooModel> cores;
+    cores.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        cores.emplace_back(system.params().core);
+
+    std::vector<bool> active(n, true);
+    GoldenMemory golden;
+    RunResult result;
+
+    const std::uint64_t warmup_total = opts.warmupInstsPerCore * n;
+    bool warm = warmup_total == 0;
+    std::uint64_t insts_at_reset = 0;
+    Tick cycles_at_reset = 0;
+
+    unsigned remaining = n;
+    while (remaining > 0) {
+        if (!warm) {
+            std::uint64_t committed = 0;
+            for (const auto &core : cores)
+                committed += core.instructions();
+            if (committed >= warmup_total) {
+                warm = true;
+                system.resetStats();
+                insts_at_reset = committed;
+                for (const auto &core : cores) {
+                    cycles_at_reset =
+                        std::max(cycles_at_reset, core.finishTime());
+                }
+                result.accesses = 0;
+                result.totalAccessLatency = 0;
+                result.lateHitsI = result.lateHitsD = 0;
+                result.mergedMissesI = result.mergedMissesD = 0;
+            }
+        }
+        // Pick the active core with the smallest issue clock.
+        unsigned best = n;
+        for (unsigned i = 0; i < n; ++i) {
+            if (active[i] && (best == n ||
+                              cores[i].now() < cores[best].now())) {
+                best = i;
+            }
+        }
+        OooModel &core = cores[best];
+
+        MemAccess acc;
+        if (!streams[best]->next(acc)) {
+            active[best] = false;
+            --remaining;
+            continue;
+        }
+
+        // Late-hit detection needs the physical line address, which is
+        // stable under repeated translation.
+        const Addr paddr = system.pageTable().translate(acc.asid,
+                                                        acc.vaddr);
+        const Addr line_addr = paddr >> system.params().lineShift();
+        const bool merged = core.wouldBeLateHit(line_addr);
+
+        if (acc.instCount > 0) {
+            core.issueInstructions(acc.instCount);
+            core.countInstructions(acc.instCount);
+        }
+
+        const AccessResult res = system.access(best, acc, core.now());
+        ++result.accesses;
+        result.totalAccessLatency += res.latency;
+
+        if (merged) {
+            // Access landed in an open miss window: a "late hit"
+            // (MSHR merge), whether the hierarchy reported hit or miss.
+            if (isIFetch(acc.type)) {
+                ++result.lateHitsI;
+                if (res.l1Miss)
+                    ++result.mergedMissesI;
+            } else {
+                ++result.lateHitsD;
+                if (res.l1Miss)
+                    ++result.mergedMissesD;
+            }
+        }
+
+        core.issueMemAccess(line_addr, res.latency, res.l1Miss,
+                            isIFetch(acc.type));
+
+        // Golden-memory value checking: the global interleaving is the
+        // architectural order.
+        if (opts.checkValues) {
+            if (isWrite(acc.type)) {
+                golden.store(line_addr, acc.storeValue);
+            } else {
+                const std::uint64_t expect = golden.load(line_addr);
+                if (res.loadValue != expect) {
+                    ++result.valueErrors;
+                    if (result.firstError.empty()) {
+                        result.firstError = vformat(
+                            "value mismatch at line 0x%llx: got %llu, "
+                            "expected %llu",
+                            static_cast<unsigned long long>(line_addr),
+                            static_cast<unsigned long long>(res.loadValue),
+                            static_cast<unsigned long long>(expect));
+                    }
+                }
+            }
+        }
+
+        if (opts.invariantCheckPeriod &&
+            result.accesses % opts.invariantCheckPeriod == 0) {
+            std::string why;
+            if (!system.checkInvariants(why)) {
+                ++result.invariantErrors;
+                if (result.firstError.empty())
+                    result.firstError = why;
+            }
+        }
+    }
+
+    for (auto &core : cores) {
+        result.cycles = std::max(result.cycles, core.finishTime());
+        result.instructions += core.instructions();
+    }
+    result.cycles -= std::min(result.cycles, cycles_at_reset);
+    result.instructions -= std::min(result.instructions, insts_at_reset);
+    return result;
+}
+
+} // namespace d2m

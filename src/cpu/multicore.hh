@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multicore execution driver.
+ *
+ * Cores execute their access streams interleaved by issue time: at
+ * every step the core with the smallest local clock issues its next
+ * reference, which the memory system executes atomically. The global
+ * interleaving order defines the architectural order used for
+ * golden-memory value checking, making coherence violations directly
+ * observable as wrong load values.
+ */
+
+#ifndef D2M_CPU_MULTICORE_HH
+#define D2M_CPU_MULTICORE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/mem_system.hh"
+#include "cpu/ooo_model.hh"
+#include "mem/golden_memory.hh"
+#include "workload/stream.hh"
+
+namespace d2m
+{
+
+/** Results of one multicore run. */
+struct RunResult
+{
+    Tick cycles = 0;                //!< Max finish time across cores.
+    std::uint64_t instructions = 0; //!< Total committed instructions.
+    std::uint64_t accesses = 0;
+    std::uint64_t lateHitsI = 0;    //!< MSHR-merged I-side accesses.
+    std::uint64_t lateHitsD = 0;
+    std::uint64_t mergedMissesI = 0;  //!< Of lateHits, reported misses.
+    std::uint64_t mergedMissesD = 0;
+    std::uint64_t totalAccessLatency = 0;  //!< Sum over all accesses.
+    std::uint64_t valueErrors = 0;  //!< Golden-memory mismatches.
+    std::uint64_t invariantErrors = 0;
+    std::string firstError;
+};
+
+/** Options controlling a run. */
+struct RunOptions
+{
+    /** Check system invariants every N accesses (0 = never). */
+    std::uint64_t invariantCheckPeriod = 0;
+    /** Verify load values against golden memory. */
+    bool checkValues = true;
+    /**
+     * Warmup instructions per core: caches, metadata stores and
+     * statistics warm up first, then all counters reset and only the
+     * steady-state region is measured (the paper uses
+     * region-of-interest / sampled simulation, Section V-A).
+     */
+    std::uint64_t warmupInstsPerCore = 0;
+};
+
+/** Drive @p streams (one per node) to completion on @p system. */
+RunResult runMulticore(MemorySystem &system,
+                       std::vector<std::unique_ptr<AccessStream>> &streams,
+                       const RunOptions &opts = {});
+
+} // namespace d2m
+
+#endif // D2M_CPU_MULTICORE_HH

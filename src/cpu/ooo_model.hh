@@ -1,0 +1,234 @@
+/**
+ * @file
+ * A bounded-window out-of-order core timing approximation.
+ *
+ * The paper simulates "a fairly aggressive OoO CPU" and notes that not
+ * all L1 miss latency reduction translates into speedup; this model
+ * reproduces that filtering without simulating a pipeline:
+ *
+ *  - instructions issue at `issueWidth` per cycle;
+ *  - a memory access completes `latency` cycles after issue and
+ *    retires in order: once the core has issued more than
+ *    `robEntries` instructions beyond an incomplete access, issue
+ *    stalls until it completes (bounded run-ahead). Short latencies
+ *    are hidden, DRAM-class latencies are mostly exposed;
+ *  - up to `mshrs` misses overlap (memory-level parallelism);
+ *  - accesses to a line with an outstanding miss merge with it
+ *    (MSHR merges — Table IV's "late hits").
+ */
+
+#ifndef D2M_CPU_OOO_MODEL_HH
+#define D2M_CPU_OOO_MODEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/params.hh"
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/** Per-core retirement/overlap model. */
+class OooModel
+{
+  public:
+    explicit OooModel(const CoreParams &params) : params_(params) {}
+
+    /** Current issue time (cycles). */
+    Tick now() const { return issueTime_; }
+
+    /** Total cycles consumed so far (retirement frontier). */
+    Tick
+    finishTime() const
+    {
+        Tick t = std::max(issueTime_, lastRetire_);
+        for (const auto &e : rob_)
+            t = std::max(t, e.complete);
+        return t;
+    }
+
+    /**
+     * Account @p count instructions issuing at full width (this
+     * includes the memory instructions themselves; memory accesses
+     * only add latency, not extra issue slots).
+     */
+    void
+    issueInstructions(std::uint64_t count)
+    {
+        while (count > 0) {
+            drainRetired();
+            std::uint64_t room = count;
+            if (!rob_.empty()) {
+                const std::uint64_t used =
+                    instSeq_ - rob_.front().instSeq;
+                if (used >= params_.robEntries) {
+                    // Window full behind an incomplete access: stall
+                    // until it completes.
+                    const Tick done = rob_.front().complete;
+                    issueTime_ = std::max(issueTime_, done);
+                    lastRetire_ = std::max(lastRetire_, done);
+                    rob_.pop_front();
+                    continue;
+                }
+                room = std::min(room, params_.robEntries - used);
+            }
+            instSeq_ += room;
+            issueTime_ +=
+                (room + params_.issueWidth - 1) / params_.issueWidth;
+            count -= room;
+        }
+        drainRetired();
+    }
+
+    /**
+     * Check whether an access to @p line_addr would merge with an
+     * outstanding miss (late hit). Call before the access executes.
+     */
+    bool
+    wouldBeLateHit(Addr line_addr) const
+    {
+        auto it = outstanding_.find(line_addr);
+        return it != outstanding_.end() && it->second > issueTime_;
+    }
+
+    /**
+     * Account one memory access with load-to-use latency @p latency.
+     * @param line_addr the accessed line (for MSHR merge tracking)
+     * @param was_miss  whether the hierarchy reported an L1 miss
+     * @param is_ifetch instruction fetch: a fetch miss starves the
+     *        front-end, so the core cannot run ahead past it (the
+     *        paper: "the out-of-order processor cannot hide
+     *        instruction misses").
+     */
+    void
+    issueMemAccess(Addr line_addr, Cycles latency, bool was_miss,
+                   bool is_ifetch = false)
+    {
+        if (is_ifetch) {
+            if (was_miss) {
+                auto fit = outstanding_.find(line_addr);
+                if (fit != outstanding_.end() &&
+                    fit->second > issueTime_) {
+                    // Re-fetch of an in-flight line: wait for the fill.
+                    issueTime_ = fit->second;
+                } else {
+                    // Front-end stall for the full fetch latency.
+                    issueTime_ += latency;
+                    outstanding_[line_addr] = issueTime_;
+                }
+                lastRetire_ = std::max(lastRetire_, issueTime_);
+                drainWindow();
+            }
+            return;
+        }
+
+        Tick complete = issueTime_ + latency;
+
+        auto it = outstanding_.find(line_addr);
+        const bool merged = it != outstanding_.end() &&
+                            it->second > issueTime_;
+        if (!was_miss) {
+            // A hit to a line with an in-flight miss still waits for
+            // the fill (hit-under-miss / MSHR merge).
+            if (merged)
+                complete = std::max(complete, it->second);
+        } else if (merged) {
+            complete = it->second;
+        } else {
+            // New miss: may have to wait for a free MSHR.
+            if (inflight_.size() >= params_.mshrs) {
+                const Tick free_at = inflight_.front();
+                if (free_at > issueTime_) {
+                    issueTime_ = free_at;
+                    complete = issueTime_ + latency;
+                }
+                inflight_.pop_front();
+            }
+            inflight_.push_back(complete);
+            outstanding_[line_addr] = complete;
+            if (outstanding_.size() > 4 * params_.mshrs)
+                pruneOutstanding();
+        }
+
+        rob_.push_back(Entry{complete, instSeq_});
+        drainWindow();
+    }
+
+    /** Committed instruction bookkeeping (for IPC reporting). */
+    void
+    countInstructions(std::uint64_t n)
+    {
+        instructions_ += n;
+    }
+
+    std::uint64_t instructions() const { return instructions_; }
+
+  private:
+    struct Entry
+    {
+        Tick complete;          //!< When the access' data arrives.
+        std::uint64_t instSeq;  //!< Instructions issued at its issue.
+    };
+
+    /** Retire accesses whose data has arrived. */
+    void
+    drainRetired()
+    {
+        while (!rob_.empty() && rob_.front().complete <= issueTime_) {
+            lastRetire_ = std::max(lastRetire_, rob_.front().complete);
+            rob_.pop_front();
+        }
+    }
+
+    /**
+     * Enforce the bounded instruction window: the core cannot issue
+     * more than robEntries instructions past an incomplete access.
+     */
+    void
+    drainWindow()
+    {
+        while (!rob_.empty()) {
+            Entry &front = rob_.front();
+            if (front.complete <= issueTime_) {
+                lastRetire_ = std::max(lastRetire_, front.complete);
+                rob_.pop_front();
+                continue;
+            }
+            if (instSeq_ - front.instSeq > params_.robEntries) {
+                // Window full behind an incomplete access: stall.
+                issueTime_ = front.complete;
+                lastRetire_ = std::max(lastRetire_, front.complete);
+                rob_.pop_front();
+                continue;
+            }
+            break;
+        }
+    }
+
+    void
+    pruneOutstanding()
+    {
+        for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+            if (it->second <= issueTime_)
+                it = outstanding_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    CoreParams params_;
+    Tick issueTime_ = 0;
+    Tick lastRetire_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t instSeq_ = 0;
+    std::deque<Entry> rob_;      //!< Incomplete accesses, program order.
+    std::deque<Tick> inflight_;  //!< MSHR completion times (FIFO).
+    std::unordered_map<Addr, Tick> outstanding_;  //!< line -> completion.
+};
+
+} // namespace d2m
+
+#endif // D2M_CPU_OOO_MODEL_HH

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * The Direct-to-Master (D2M) split cache hierarchy (paper Sections
+ * II-IV and Appendix).
+ *
+ * Metadata hierarchy: per-node MD1-I/MD1-D (virtually tagged) and MD2
+ * (physically tagged, TLB2-translated), and a shared MD3 with presence
+ * bits and a blocking lock per region. Data hierarchy: tag-less L1-I /
+ * L1-D (optional L2) per node and a tag-less LLC, either one far-side
+ * array (D2M-FS) or one near-side slice per node (D2M-NS / D2M-NS-R).
+ *
+ * Protocol cases follow the Appendix:
+ *   A  read miss, MD1/MD2 hit: direct read from the master.
+ *   B  write miss, private region: direct read, silent upgrade.
+ *   C  write miss, shared region: blocking ReadEx through MD3.
+ *   D  MD1/MD2 miss: blocking ReadMM through MD3 (D1-D4 by PB count).
+ *   E  master eviction, private region: RP victim location, local MD
+ *      update only.
+ *   F  master eviction, shared region: EvictReq + NewMaster multicast.
+ *
+ * Design notes / documented deviations (see DESIGN.md §2):
+ *  - Transactions execute atomically with summed critical-path
+ *    latency; the MD3 region locks are counted but never contended.
+ *  - RP victim locations are chosen at eviction time (the paper allows
+ *    this: "determined prior to eviction"; default RP is MEM).
+ *  - Reads of shared regions served from memory install replicas
+ *    (master stays MEM); masters enter the LLC through the
+ *    private-first lifecycle and evictions, as in the paper.
+ */
+
+#ifndef D2M_D2M_D2M_SYSTEM_HH
+#define D2M_D2M_D2M_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/hier_stats.hh"
+#include "cpu/mem_system.hh"
+#include "d2m/events.hh"
+#include "d2m/location_info.hh"
+#include "d2m/md_entries.hh"
+#include "d2m/policies.hh"
+#include "d2m/region_store.hh"
+#include "d2m/tagless_cache.hh"
+
+namespace d2m
+{
+
+/** The D2M split-hierarchy system (FS / NS / NS-R by params). */
+class D2mSystem : public MemorySystem
+{
+  public:
+    D2mSystem(std::string name, const SystemParams &params);
+
+    AccessResult access(NodeId node, const MemAccess &acc,
+                        Tick now) override;
+
+    bool checkInvariants(std::string &why) const override;
+    double sramKib() const override;
+    const char *configName() const override;
+
+    HierarchyStats &hierStats() { return stats_; }
+    const HierarchyStats &hierStats() const { return stats_; }
+    D2mEvents &events() { return events_; }
+    const D2mEvents &events() const { return events_; }
+    const LiCodec &liCodec() const { return codec_; }
+
+    /** Classification of @p pregion per Table II (test support). */
+    RegionClass regionClass(std::uint64_t pregion) const;
+
+  private:
+    // ---- structural -------------------------------------------------
+    struct NodeCtx
+    {
+        std::unique_ptr<Tlb> tlb2;
+        std::unique_ptr<RegionStore<Md1Entry>> md1i;
+        std::unique_ptr<RegionStore<Md1Entry>> md1d;
+        std::unique_ptr<RegionStore<Md2Entry>> md2;
+        std::unique_ptr<TaglessCache> l1i;
+        std::unique_ptr<TaglessCache> l1d;
+        std::unique_ptr<TaglessCache> l2;  // optional
+    };
+
+    /** Accessor for the active metadata of (node, region). */
+    struct ActiveMd
+    {
+        Md1Entry *md1 = nullptr;  //!< Non-null when active in MD1.
+        Md2Entry *md2 = nullptr;  //!< Always non-null when tracked.
+        std::uint64_t pregion = 0;
+
+        bool tracked() const { return md2 != nullptr; }
+        LiVector &li() { return md1 ? md1->li : md2->li; }
+        const LiVector &li() const { return md1 ? md1->li : md2->li; }
+        bool privateBit() const
+        {
+            return md1 ? md1->privateBit : md2->privateBit;
+        }
+        std::uint32_t scramble() const
+        {
+            return md1 ? md1->scramble : md2->scramble;
+        }
+        /** Which L1 side holds this region's L1-resident lines. */
+        bool sideI() const { return md2->md1SideI; }
+    };
+
+    // ---- address helpers --------------------------------------------
+    Addr lineOf(Addr paddr) const { return paddr >> lineShift_; }
+    std::uint64_t regionOf(Addr line_addr) const
+    {
+        return line_addr >> regionLinesLog_;
+    }
+    unsigned lineIdxOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>(line_addr & (params_.regionLines - 1));
+    }
+    std::uint64_t md1Key(AsId asid, Addr vaddr) const
+    {
+        return (std::uint64_t(asid) << 44) ^ (vaddr >> regionShift_);
+    }
+
+    TaglessCache &l1For(NodeId node, bool side_i)
+    {
+        return side_i ? *nodes_[node].l1i : *nodes_[node].l1d;
+    }
+    RegionStore<Md1Entry> &md1For(NodeId node, bool side_i)
+    {
+        return side_i ? *nodes_[node].md1i : *nodes_[node].md1d;
+    }
+    std::uint32_t sliceEndpoint(std::uint32_t slice) const
+    {
+        return nearSide_ ? slice : farSide();
+    }
+
+    // ---- metadata paths ---------------------------------------------
+    /**
+     * Find (or fetch, case D) the active metadata for the access.
+     * Handles MD2->MD1 promotion and MD1 side migration. Fills
+     * @p md_level with 0/1/2 for MD1 / MD2 / MD3-involving lookups.
+     */
+    ActiveMd lookupMetadata(NodeId node, const MemAccess &acc, bool side_i,
+                            Cycles &lat, unsigned &md_level);
+
+    /** Case D: metadata miss; fetch the region through MD3. */
+    ActiveMd caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
+                   std::uint64_t pregion, Cycles &lat);
+
+    /** Promote a (passive) MD2 entry into MD1 on @p side_i. */
+    Md1Entry &promoteToMd1(NodeId node, bool side_i, AsId asid, Addr vaddr,
+                           Md2Entry &e2);
+
+    /** Evict one MD1 entry: copy LIs back to its MD2 entry. */
+    void evictMd1Entry(NodeId node, bool side_i, Md1Entry &e1);
+
+    /** Active metadata for a region already known to be tracked. */
+    ActiveMd activeMdFor(NodeId node, std::uint64_t pregion,
+                         bool charge_energy = true);
+
+    /** Set / clear the region's private bit in MD1 and MD2. */
+    void setPrivate(ActiveMd &md, bool value);
+
+    /** Evict the node's MD2 entry for @p pregion (spill to MD3). */
+    void nodeRegionEvict(NodeId node, std::uint64_t pregion);
+
+    /** MD3 eviction: flush @p e3's region from the whole system. */
+    void globalMd3Evict(Md3Entry &e3);
+
+    /** Drop a region from a node for an MD3 flush (masters to MEM). */
+    void flushNodeRegion(NodeId node, std::uint64_t pregion);
+
+    /** MD3 region lock (blocking mechanism; counted, never contended). */
+    void lockRegion(std::uint64_t pregion);
+
+    // ---- data paths ---------------------------------------------------
+    /**
+     * Service the access once metadata is available. Dispatches on the
+     * line's LocationInfo.
+     */
+    AccessResult serviceLine(NodeId node, const MemAccess &acc, bool side_i,
+                             ActiveMd md, std::uint64_t pregion,
+                             Addr line_addr, unsigned md_level, Cycles lat);
+
+    /**
+     * Fetch line data from its master location on behalf of @p node
+     * (cases A/B/D). Charges traffic/energy/latency.
+     * @param invalidate_master also remove the master copy (case B/C).
+     */
+    std::uint64_t fetchFromMaster(NodeId node, const LocationInfo &master,
+                                  std::uint64_t pregion, Addr line_addr,
+                                  bool invalidate_master, Cycles &lat,
+                                  ServiceLevel &level, bool &was_mru);
+
+    /** Case C: write to a shared region through MD3. */
+    std::uint64_t caseC(NodeId node, ActiveMd &md, std::uint64_t pregion,
+                        Addr line_addr, Cycles &lat);
+
+    /** Install a line into the node's L1, evicting as needed. */
+    std::uint32_t installL1(NodeId node, bool side_i, Addr line_addr,
+                            std::uint32_t scramble, std::uint64_t value,
+                            bool master, bool dirty,
+                            const LocationInfo &rp,
+                            bool exclusive = false);
+
+    /** Evict whatever occupies L1 (set, way) (cases E/F for masters). */
+    void evictL1Slot(NodeId node, bool side_i, std::uint32_t set,
+                     std::uint32_t way);
+
+    /** Evict whatever occupies L2 (set, way). */
+    void evictL2Slot(NodeId node, std::uint32_t set, std::uint32_t way);
+
+    /** Relocate an evicted master to a victim location (cases E/F). */
+    void masterEvicted(NodeId node, TaglessLine &line, bool allow_llc);
+
+    /** Allocate a victim location in the LLC (placement policy). */
+    LocationInfo allocateVictimInLlc(NodeId node, Addr line_addr,
+                                     std::uint32_t scramble);
+
+    /** Handle the occupant of an LLC slot being displaced. */
+    void evictLlcSlot(std::uint32_t slice, std::uint32_t set,
+                      std::uint32_t way);
+
+    /** Replicate @p line_addr into @p node's NS slice (Section IV-C). */
+    LocationInfo replicateToLocalSlice(NodeId node, Addr line_addr,
+                                       std::uint32_t scramble,
+                                       std::uint64_t value,
+                                       const LocationInfo &master,
+                                       bool is_ifetch);
+
+    /** Invalidate node-local copies of a line; set LI to @p new_master.
+     * @return true if a local copy existed (false => false inv). */
+    bool invalidateLineAtNode(NodeId n, std::uint64_t pregion,
+                              unsigned line_idx, Addr line_addr,
+                              const LocationInfo &new_master);
+
+    /** Case F / LLC eviction notification: the master moved. */
+    void newMasterAtNode(NodeId n, std::uint64_t pregion, unsigned line_idx,
+                         Addr line_addr, const LocationInfo &new_loc);
+
+    /** MD2 pruning heuristic (Section IV-A). */
+    void maybePrune(NodeId n, std::uint64_t pregion, Md3Entry &e3);
+
+    /** Result of dropping a line's node-local copy chain. */
+    struct DropResult
+    {
+        bool droppedAny = false;     //!< Some local copy existed.
+        bool droppedMaster = false;  //!< The master copy was local.
+        std::uint64_t masterValue = 0;
+        bool masterDirty = false;
+    };
+
+    /**
+     * Invalidate every node-local copy of a line (the L1/L2/own-slice
+     * replica chain), leaving the LI pointing at the chain's end.
+     */
+    DropResult dropLocalCopies(NodeId node, ActiveMd &md,
+                               unsigned line_idx, Addr line_addr);
+
+    /** Read the node-local copy of a line through the LI chain. */
+    std::uint64_t readLocalValue(NodeId node, ActiveMd &md,
+                                 unsigned line_idx, Addr line_addr,
+                                 Cycles &lat);
+
+    /** @return true if @p li designates a copy held by @p node. */
+    bool liIsLocal(NodeId node, const LocationInfo &li,
+                   Addr line_addr, std::uint32_t scramble);
+
+    /** Periodic NS-LLC pressure exchange. */
+    void pressureEpoch(Tick now);
+
+    /** LLC slot for a location-info pointer. */
+    TaglessLine &llcAt(const LocationInfo &li, Addr line_addr,
+                       std::uint32_t scramble, std::uint32_t *set_out);
+
+    // ---- members -----------------------------------------------------
+    unsigned lineShift_;
+    unsigned regionShift_;
+    unsigned regionLinesLog_;
+    bool nearSide_;
+    LiCodec codec_;
+
+    std::vector<NodeCtx> nodes_;
+    std::vector<std::unique_ptr<TaglessCache>> llc_;  //!< One per slice.
+    std::unique_ptr<RegionStore<Md3Entry>> md3_;
+
+    std::unique_ptr<NsPlacementPolicy> placement_;
+    std::unique_ptr<ReplicationPolicy> replication_;
+    IndexScrambler scrambler_;
+
+    Tick nextPressureEpoch_ = 0;
+
+    HierarchyStats stats_;
+    D2mEvents events_;
+};
+
+} // namespace d2m
+
+#endif // D2M_D2M_D2M_SYSTEM_HH

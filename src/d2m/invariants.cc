@@ -1,0 +1,216 @@
+/**
+ * @file
+ * D2M invariant checker (DESIGN.md Section 6).
+ *
+ * Verifies, over the complete simulator state:
+ *  1. Deterministic LI: every LI in active metadata resolves to a
+ *     valid slot holding the right line (or a non-cache location).
+ *  2. Tracking completeness: every valid data slot is reachable from
+ *     some active metadata entry's LI chain.
+ *  3. Single master per line across all arrays.
+ *  4. PB soundness: MD3 PB[n] set <=> node n has a valid MD2 entry.
+ *  5. Private exclusivity: a region private in a node has exactly that
+ *     node's PB bit set.
+ *  6. Inclusion: MD1 subset of MD2; MD2 regions and LLC lines present
+ *     in MD3.
+ */
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "d2m/d2m_system.hh"
+
+namespace d2m
+{
+
+bool
+D2mSystem::checkInvariants(std::string &why) const
+{
+    std::ostringstream oss;
+    auto *self = const_cast<D2mSystem *>(this);
+    bool ok = true;
+    auto fail = [&](const std::string &msg) {
+        if (ok) {
+            oss << msg;
+            ok = false;
+        }
+    };
+
+    // --- master uniqueness over all data arrays ----------------------
+    std::map<Addr, unsigned> masters;
+    std::map<Addr, unsigned> copies;
+    for (NodeId n = 0; n < params_.numNodes && ok; ++n) {
+        for (const TaglessCache *cache :
+             {nodes_[n].l1i.get(), nodes_[n].l1d.get(),
+              nodes_[n].l2.get()}) {
+            if (!cache)
+                continue;
+            cache->forEachValid([&](std::uint32_t, std::uint32_t,
+                                    const TaglessLine &line) {
+                ++copies[line.lineAddr];
+                if (line.master)
+                    ++masters[line.lineAddr];
+            });
+        }
+    }
+    for (const auto &slice : llc_) {
+        slice->forEachValid([&](std::uint32_t, std::uint32_t,
+                                const TaglessLine &line) {
+            ++copies[line.lineAddr];
+            if (line.master)
+                ++masters[line.lineAddr];
+        });
+    }
+    for (const auto &[addr, count] : masters) {
+        if (count > 1) {
+            fail("line 0x" + std::to_string(addr) + " has " +
+                 std::to_string(count) + " masters");
+        }
+    }
+
+    // --- per-node metadata checks -------------------------------------
+    std::set<Addr> reachable;
+    for (NodeId n = 0; n < params_.numNodes && ok; ++n) {
+        const NodeCtx &ctx = nodes_[n];
+
+        // MD1 subset of MD2, and tracking pointers consistent.
+        for (const auto *md1 : {ctx.md1i.get(), ctx.md1d.get()}) {
+            md1->forEach([&](const Md1Entry &e1) {
+                const Md2Entry *e2 = ctx.md2->probe(e1.pregion);
+                if (!e2) {
+                    fail("node " + std::to_string(n) +
+                         ": MD1 entry without MD2 backing");
+                    return;
+                }
+                if (!e2->activeInMd1)
+                    fail("MD1 entry exists but MD2 claims to be active");
+            });
+        }
+
+        // Every MD2 entry: PB bit set in MD3; LIs deterministic.
+        ctx.md2->forEach([&](const Md2Entry &e2) {
+            const Md3Entry *e3 = md3_->probe(e2.key);
+            if (!e3 || !((e3->pb >> n) & 1)) {
+                fail("node " + std::to_string(n) + " region " +
+                     std::to_string(e2.key) +
+                     ": MD2 entry without MD3 PB bit");
+                return;
+            }
+            if (e2.privateBit && popCountU64(e3->pb) != 1) {
+                fail("private region with multiple PB bits");
+                return;
+            }
+            // Resolve each LI of the active entry.
+            const LiVector &lis =
+                e2.activeInMd1
+                    ? self->md1For(n, e2.md1SideI)
+                          .at(e2.md1Set, e2.md1Way)
+                          .li
+                    : e2.li;
+            for (unsigned i = 0; i < params_.regionLines; ++i) {
+                const Addr la = (e2.key << regionLinesLog_) | i;
+                LocationInfo li = lis[i];
+                if (li.isInvalid()) {
+                    fail("invalid LI in node metadata");
+                    return;
+                }
+                // Walk the local chain checking determinism.
+                unsigned guard = 0;
+                while (guard++ < 8) {
+                    const TaglessLine *slot = nullptr;
+                    if (li.kind == LiKind::L1) {
+                        const TaglessCache &l1 = e2.md1SideI
+                                                     ? *ctx.l1i
+                                                     : *ctx.l1d;
+                        slot = &l1.at(l1.setFor(la, e2.scramble), li.way);
+                    } else if (li.kind == LiKind::L2) {
+                        if (!ctx.l2) {
+                            fail("L2 LI without an L2 cache");
+                            return;
+                        }
+                        slot = &ctx.l2->at(ctx.l2->setFor(la, e2.scramble),
+                                           li.way);
+                    } else if (li.kind == LiKind::Llc) {
+                        const TaglessCache &arr = *llc_[li.node];
+                        slot = &arr.at(arr.setFor(la, e2.scramble),
+                                       li.way);
+                    } else {
+                        break;  // Mem / Node: nothing to resolve here
+                    }
+                    if (!slot->valid || slot->lineAddr != la) {
+                        fail("deterministic LI violated: node " +
+                             std::to_string(n) + " line " +
+                             std::to_string(la));
+                        return;
+                    }
+                    reachable.insert(la);
+                    if (slot->master)
+                        break;
+                    li = slot->rp;
+                    if (li.isInvalid()) {
+                        fail("replica RP invalid");
+                        return;
+                    }
+                }
+            }
+        });
+
+        // PB reverse direction: PB bit implies MD2 entry.
+        md3_->forEach([&](const Md3Entry &e3) {
+            if (((e3.pb >> n) & 1) && !ctx.md2->probe(e3.key))
+                fail("PB bit set for node without MD2 entry");
+        });
+
+        // Tracking completeness for private caches.
+        for (const TaglessCache *cache :
+             {ctx.l1i.get(), ctx.l1d.get(), ctx.l2.get()}) {
+            if (!cache)
+                continue;
+            cache->forEachValid([&](std::uint32_t, std::uint32_t,
+                                    const TaglessLine &line) {
+                if (!ctx.md2->probe(regionOf(line.lineAddr))) {
+                    fail("cached line in node " + std::to_string(n) +
+                         " not tracked by its MD2");
+                }
+            });
+        }
+    }
+
+    // --- LLC lines tracked by MD3 -------------------------------------
+    for (const auto &slice : llc_) {
+        slice->forEachValid([&](std::uint32_t, std::uint32_t,
+                                const TaglessLine &line) {
+            const Md3Entry *e3 = md3_->probe(regionOf(line.lineAddr));
+            if (!e3)
+                fail("LLC line without an MD3 entry");
+            if (!line.master && line.ownerNode == invalidNode)
+                fail("LLC replica without an owner");
+        });
+    }
+
+    // --- MD3 LIs deterministic for shared/untracked regions -----------
+    md3_->forEach([&](const Md3Entry &e3) {
+        const RegionClass cls = classify(true, e3.pb);
+        if (cls == RegionClass::Private)
+            return;  // LIs invalid by design
+        for (unsigned i = 0; i < params_.regionLines; ++i) {
+            const LocationInfo li = e3.li[i];
+            if (li.kind != LiKind::Llc)
+                continue;
+            const Addr la = (e3.key << regionLinesLog_) | i;
+            const TaglessCache &arr = *llc_[li.node];
+            const TaglessLine &slot =
+                arr.at(arr.setFor(la, e3.scramble), li.way);
+            if (!slot.valid || slot.lineAddr != la || !slot.master)
+                fail("MD3 LI does not resolve to an LLC master");
+        }
+    });
+
+    if (!ok)
+        why = oss.str();
+    return ok;
+}
+
+} // namespace d2m

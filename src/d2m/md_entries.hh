@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Metadata-store entry layouts for MD1, MD2 and MD3 (paper Figures
+ * 1 and 2).
+ *
+ * An entry covers one region (default 16 cachelines) and holds one
+ * LocationInfo per line. Exactly one MD entry per (node, region) is
+ * "active" at a time: either the MD1 entry (with the MD2 entry passive
+ * and its tracking pointer naming the MD1 slot), or the MD2 entry
+ * itself.
+ */
+
+#ifndef D2M_D2M_MD_ENTRIES_HH
+#define D2M_D2M_MD_ENTRIES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "d2m/location_info.hh"
+#include "mem/replacement.hh"
+
+namespace d2m
+{
+
+/** Maximum cachelines per region supported by the fixed entry layout. */
+constexpr unsigned maxRegionLines = 16;
+
+/** Per-line LI vector stored in every metadata entry. */
+using LiVector = std::array<LocationInfo, maxRegionLines>;
+
+/** First-level metadata entry (virtually tagged; replaces the TLB). */
+struct Md1Entry
+{
+    bool valid = false;
+    std::uint64_t key = 0;      //!< (asid, virtual region) composite.
+    std::uint64_t pregion = 0;  //!< Physical region number (PA field).
+    bool privateBit = false;    //!< P bit (Table II classification).
+    std::uint32_t scramble = 0; //!< Dynamic-indexing value (IV-D).
+    LiVector li{};
+    ReplState repl;
+};
+
+/** Second-level metadata entry (physically tagged). */
+struct Md2Entry
+{
+    bool valid = false;
+    std::uint64_t key = 0;      //!< Physical region number.
+    bool privateBit = false;
+    std::uint32_t scramble = 0;
+    LiVector li{};              //!< Stale while an MD1 entry is active.
+
+    /**
+     * Per-region reuse counters for the LLC-bypass extension: lines
+     * installed into the L1 vs. L1 hits observed. A region with many
+     * fills and few re-hits is streaming (no reuse to preserve).
+     */
+    std::uint32_t fills = 0;
+    std::uint32_t hits = 0;
+
+    // Tracking pointer: where the active MD1 entry lives, if any.
+    bool activeInMd1 = false;
+    bool md1SideI = false;      //!< MD1-I vs MD1-D (paper footnote 2).
+    std::uint32_t md1Set = 0;
+    std::uint32_t md1Way = 0;
+
+    ReplState repl;
+};
+
+/** Shared third-level metadata entry (with presence bits). */
+struct Md3Entry
+{
+    bool valid = false;
+    std::uint64_t key = 0;      //!< Physical region number.
+    std::uint64_t pb = 0;       //!< Presence bit per node.
+    std::uint32_t scramble = 0;
+    /**
+     * Global LIs (Node / Llc / Mem only). Invalid while the region is
+     * classified private — the owning node's MD2 is authoritative then
+     * (Appendix case B note).
+     */
+    LiVector li{};
+    ReplState repl;
+};
+
+/** Region classification derived from the PB bits (paper Table II). */
+enum class RegionClass : std::uint8_t
+{
+    Uncached,   //!< No MD3 entry.
+    Untracked,  //!< MD3 entry, no PB bits: only the LLC/MD3 track it.
+    Private,    //!< Exactly one PB bit.
+    Shared,     //!< More than one PB bit.
+};
+
+/** popcount helper (avoids pulling <bit> into every user). */
+constexpr unsigned
+popCountU64(std::uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+/** @return the Table II class for an MD3 entry state. */
+constexpr RegionClass
+classify(bool has_entry, std::uint64_t pb)
+{
+    if (!has_entry)
+        return RegionClass::Uncached;
+    const unsigned n = popCountU64(pb);
+    if (n == 0)
+        return RegionClass::Untracked;
+    return n == 1 ? RegionClass::Private : RegionClass::Shared;
+}
+
+} // namespace d2m
+
+#endif // D2M_D2M_MD_ENTRIES_HH

@@ -1,0 +1,30 @@
+#include "d2m/policies.hh"
+
+#include <algorithm>
+
+namespace d2m
+{
+
+std::uint32_t
+PressurePlacementPolicy::chooseSlice(NodeId node)
+{
+    const std::uint64_t local = shared_[node];
+    std::uint64_t min_remote = ~std::uint64_t(0);
+    std::uint32_t best_remote = static_cast<std::uint32_t>(node);
+    for (std::uint32_t s = 0; s < shared_.size(); ++s) {
+        if (s == node)
+            continue;
+        if (shared_[s] < min_remote) {
+            min_remote = shared_[s];
+            best_remote = s;
+        }
+    }
+    if (shared_.size() == 1 || local <= min_remote)
+        return static_cast<std::uint32_t>(node);
+    // Local pressure is higher: 80% local, 20% to the least-pressured
+    // remote slice (paper Section IV-B).
+    return rng_.chance(remoteShare_) ? best_remote
+                                     : static_cast<std::uint32_t>(node);
+}
+
+} // namespace d2m

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Data-oriented optimization policies layered on the D2M mechanism
+ * (paper Section IV). The paper stresses that D2M's contribution is
+ * the mechanism, not the policies, and deliberately evaluates very
+ * simple heuristics; these classes implement exactly those heuristics
+ * but are replaceable through the virtual interfaces.
+ */
+
+#ifndef D2M_D2M_POLICIES_HH
+#define D2M_D2M_POLICIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/**
+ * NS-LLC placement policy interface: pick the slice that receives a
+ * node's newly allocated victim location (Section IV-B).
+ */
+class NsPlacementPolicy
+{
+  public:
+    virtual ~NsPlacementPolicy() = default;
+
+    /** Record one replacement in @p slice (the pressure signal). */
+    virtual void recordReplacement(std::uint32_t slice) = 0;
+
+    /** Periodic pressure exchange (every 10k cycles in the paper). */
+    virtual void exchangeEpoch() = 0;
+
+    /** Choose the slice for an allocation by @p node. */
+    virtual std::uint32_t chooseSlice(NodeId node) = 0;
+};
+
+/**
+ * The paper's pressure heuristic: allocate locally when the local
+ * slice's pressure (replacements per epoch) is not above the others';
+ * otherwise allocate 80% locally and 20% in the least-pressured
+ * remote slice.
+ */
+class PressurePlacementPolicy : public NsPlacementPolicy
+{
+  public:
+    PressurePlacementPolicy(unsigned num_slices, double remote_share,
+                            std::uint64_t seed)
+        : counts_(num_slices, 0), shared_(num_slices, 0),
+          remoteShare_(remote_share), rng_(seed)
+    {}
+
+    void
+    recordReplacement(std::uint32_t slice) override
+    {
+        ++counts_[slice];
+    }
+
+    void
+    exchangeEpoch() override
+    {
+        shared_ = counts_;
+        for (auto &c : counts_)
+            c = 0;
+    }
+
+    std::uint32_t chooseSlice(NodeId node) override;
+
+  private:
+    std::vector<std::uint64_t> counts_;   //!< Current epoch.
+    std::vector<std::uint64_t> shared_;   //!< Last exchanged snapshot.
+    double remoteShare_;
+    Rng rng_;
+};
+
+/** Far-side trivial policy: everything goes to slice 0. */
+class FarSidePlacementPolicy : public NsPlacementPolicy
+{
+  public:
+    void recordReplacement(std::uint32_t) override {}
+    void exchangeEpoch() override {}
+    std::uint32_t chooseSlice(NodeId) override { return 0; }
+};
+
+/**
+ * Replication policy interface (Section IV-C): decide whether a line
+ * read from a non-local location should be replicated into the
+ * reader's NS slice.
+ */
+class ReplicationPolicy
+{
+  public:
+    virtual ~ReplicationPolicy() = default;
+
+    /**
+     * @param is_ifetch    instruction read
+     * @param from_remote_slice  served by another node's NS slice
+     * @param was_mru      the served line was MRU in its set
+     */
+    virtual bool shouldReplicate(bool is_ifetch, bool from_remote_slice,
+                                 bool was_mru) const = 0;
+};
+
+/** The paper's heuristic: instructions always; data on remote MRU. */
+class PaperReplicationPolicy : public ReplicationPolicy
+{
+  public:
+    bool
+    shouldReplicate(bool is_ifetch, bool from_remote_slice,
+                    bool was_mru) const override
+    {
+        if (is_ifetch)
+            return true;
+        return from_remote_slice && was_mru;
+    }
+};
+
+/** Disabled replication (D2M-FS / D2M-NS). */
+class NoReplicationPolicy : public ReplicationPolicy
+{
+  public:
+    bool
+    shouldReplicate(bool, bool, bool) const override
+    {
+        return false;
+    }
+};
+
+/**
+ * Dynamic-indexing scrambler (Section IV-D): produces the random index
+ * value stored with each region when it is loaded into MD3.
+ */
+class IndexScrambler
+{
+  public:
+    IndexScrambler(bool enabled, std::uint64_t seed)
+        : enabled_(enabled), rng_(seed)
+    {}
+
+    std::uint32_t
+    next()
+    {
+        return enabled_ ? static_cast<std::uint32_t>(rng_.next()) : 0;
+    }
+
+    bool enabled() const { return enabled_; }
+
+  private:
+    bool enabled_;
+    Rng rng_;
+};
+
+} // namespace d2m
+
+#endif // D2M_D2M_POLICIES_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Generic set-associative region store used for MD1, MD2 and MD3.
+ *
+ * Entries are keyed by a 64-bit region key: the physical region number
+ * for MD2/MD3, and a (asid, virtual-region) composite for the
+ * virtually-tagged MD1. Victim selection can be cost-biased, which the
+ * metadata stores use to prefer evicting regions that track few
+ * cachelines (Section II-A) or have few sharers (MD3).
+ */
+
+#ifndef D2M_D2M_REGION_STORE_HH
+#define D2M_D2M_REGION_STORE_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "mem/replacement.hh"
+#include "sim/sim_object.hh"
+
+namespace d2m
+{
+
+/** Set-associative array of region entries of type @p Entry.
+ *
+ * @p Entry must provide: bool valid, std::uint64_t key, ReplState repl.
+ */
+template <typename Entry>
+class RegionStore : public SimObject
+{
+  public:
+    RegionStore(std::string name, SimObject *parent, std::uint32_t entries,
+                std::uint32_t assoc, ReplKind repl = ReplKind::CostAwareLru)
+        : SimObject(std::move(name), parent)
+    {
+        fatal_if(entries == 0 || assoc == 0 || entries % assoc != 0,
+                 "bad region store geometry %u/%u", entries, assoc);
+        sets_ = entries / assoc;
+        fatal_if(!isPowerOf2(sets_), "region store sets must be 2^k");
+        assoc_ = assoc;
+        entries_.resize(entries);
+        repl_ = makeReplacement(repl);
+    }
+
+    /**
+     * Hashed set index: XOR-folding the higher key bits keeps
+     * power-of-two-strided region sequences from aliasing into a few
+     * metadata sets (a fixed hardware hash, as directory/tag arrays
+     * commonly use).
+     */
+    std::uint32_t
+    setOf(std::uint64_t key) const
+    {
+        const std::uint64_t folded =
+            key ^ (key >> 10) ^ (key >> 20) ^ (key >> 30);
+        return static_cast<std::uint32_t>(folded & (sets_ - 1));
+    }
+
+    /** @return the valid entry with @p key, updating recency. */
+    Entry *
+    find(std::uint64_t key)
+    {
+        Entry *e = probe(key);
+        if (e)
+            repl_->touch(e->repl, ++clock_);
+        return e;
+    }
+
+    /** @return the valid entry with @p key, recency untouched. */
+    Entry *
+    probe(std::uint64_t key)
+    {
+        const std::uint32_t set = setOf(key);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Entry &e = entries_[set * assoc_ + w];
+            if (e.valid && e.key == key)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    const Entry *
+    probe(std::uint64_t key) const
+    {
+        return const_cast<RegionStore *>(this)->probe(key);
+    }
+
+    /**
+     * Choose a victim slot in @p key's set. Invalid slots win;
+     * otherwise @p cost_of (if provided) biases toward cheap victims.
+     * The caller must clean out a valid victim before reuse.
+     */
+    Entry &
+    victimFor(std::uint64_t key,
+              const std::function<double(const Entry &)> &cost_of = {})
+    {
+        const std::uint32_t set = setOf(key);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Entry &e = entries_[set * assoc_ + w];
+            if (!e.valid)
+                return e;
+        }
+        std::vector<ReplState *> states(assoc_);
+        for (std::uint32_t w = 0; w < assoc_; ++w)
+            states[w] = &entries_[set * assoc_ + w].repl;
+        auto cost = [&](std::uint32_t w) {
+            return cost_of ? cost_of(entries_[set * assoc_ + w]) : 0.0;
+        };
+        const std::uint32_t w = repl_->victim(states, cost);
+        return entries_[set * assoc_ + w];
+    }
+
+    /** Stamp @p e as freshly installed. */
+    void markInstalled(Entry &e) { repl_->install(e.repl, ++clock_); }
+
+    /** Entry at an explicit (set, way) — models TP-style pointers. */
+    Entry &
+    at(std::uint32_t set, std::uint32_t way)
+    {
+        return entries_[set * assoc_ + way];
+    }
+
+    /** (set, way) of @p e within this store. */
+    std::pair<std::uint32_t, std::uint32_t>
+    positionOf(const Entry &e) const
+    {
+        const auto idx = static_cast<std::uint32_t>(&e - entries_.data());
+        return {idx / assoc_, idx % assoc_};
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &e : entries_) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &e : entries_) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+  private:
+    std::uint32_t sets_ = 0;
+    std::uint32_t assoc_ = 0;
+    std::vector<Entry> entries_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace d2m
+
+#endif // D2M_D2M_REGION_STORE_HH

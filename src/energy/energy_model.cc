@@ -1,0 +1,88 @@
+#include "energy/energy_model.hh"
+
+#include <ostream>
+
+namespace d2m
+{
+
+const char *
+structureName(Structure s)
+{
+    switch (s) {
+      case Structure::L1Tag: return "L1Tag";
+      case Structure::L1Data: return "L1Data";
+      case Structure::L2Tag: return "L2Tag";
+      case Structure::L2Data: return "L2Data";
+      case Structure::LlcTag: return "LlcTag";
+      case Structure::LlcData: return "LlcData";
+      case Structure::Tlb: return "Tlb";
+      case Structure::Tlb2: return "Tlb2";
+      case Structure::PageWalk: return "PageWalk";
+      case Structure::Directory: return "Directory";
+      case Structure::Md1: return "Md1";
+      case Structure::Md2: return "Md2";
+      case Structure::Md3: return "Md3";
+      case Structure::NUM_STRUCTURES: break;
+    }
+    return "?";
+}
+
+EnergyTable
+EnergyTable::default22nm()
+{
+    EnergyTable t;
+    auto set = [&t](Structure s, double pj) {
+        t.accessPj[static_cast<size_t>(s)] = pj;
+    };
+    // Representative 22nm per-access dynamic energies (pJ). The values
+    // keep CACTI's relative ordering: bigger arrays and wider
+    // associative searches cost more; single-way direct accesses are
+    // cheap. See DESIGN.md, substitution table.
+    set(Structure::L1Tag, 1.1);      // one 8-way L1 tag way check
+    set(Structure::L1Data, 8.0);     // one 4KB L1 data way
+    set(Structure::L2Tag, 1.6);      // one 256KB L2 tag way
+    set(Structure::L2Data, 16.0);    // one 32KB L2 data way
+    set(Structure::LlcTag, 2.2);     // one 4MB LLC tag way
+    set(Structure::LlcData, 42.0);   // one 128KB LLC data way
+    set(Structure::Tlb, 4.0);        // 64-entry fully-assoc TLB
+    set(Structure::Tlb2, 7.0);       // 1K-entry TLB2
+    set(Structure::PageWalk, 120.0); // multi-level walk
+    set(Structure::Directory, 14.0); // full-map directory entry
+    set(Structure::Md1, 4.2);        // on par with the TLB it replaces
+    set(Structure::Md2, 8.5);        // 4K-entry region store
+    set(Structure::Md3, 15.0);       // on par with the directory
+    return t;
+}
+
+double
+EnergyAccount::dynamicSramPj(const EnergyTable &table) const
+{
+    double pj = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i)
+        pj += static_cast<double>(counts_[i]) * table.accessPj[i];
+    return pj;
+}
+
+double
+EnergyAccount::totalPj(const EnergyTable &table, std::uint64_t noc_bytes,
+                       double sram_kib, Cycles cycles) const
+{
+    const double dynamic = dynamicSramPj(table) +
+        static_cast<double>(noc_bytes) * table.nocPjPerByte;
+    const double leak = table.leakPjPerCyclePerKib * sram_kib *
+        static_cast<double>(cycles);
+    return dynamic + leak;
+}
+
+void
+EnergyAccount::printCounts(std::ostream &os) const
+{
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i]) {
+            os << structureName(static_cast<Structure>(i)) << " "
+               << counts_[i] << "\n";
+        }
+    }
+}
+
+} // namespace d2m

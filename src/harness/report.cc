@@ -1,0 +1,123 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace d2m
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            oss << (c == 0 ? "" : "  ");
+            oss << cell;
+            oss << std::string(widths[c] - cell.size(), ' ');
+        }
+        oss << "\n";
+    };
+    emit(headers_);
+    size_t total = headers_.size() - 1;
+    for (size_t w : widths)
+        total += w + 1;
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            oss << std::string(total, '-') << "\n";
+        else
+            emit(row);
+    }
+    return oss.str();
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+const Metrics *
+findRow(const std::vector<Metrics> &rows, const std::string &benchmark,
+        const std::string &config)
+{
+    for (const auto &m : rows) {
+        if (m.benchmark == benchmark && m.config == config)
+            return &m;
+    }
+    return nullptr;
+}
+
+double
+suiteGeomean(const std::vector<Metrics> &rows, const std::string &suite,
+             const std::string &config,
+             const std::function<double(const Metrics &)> &get)
+{
+    std::vector<double> vals;
+    for (const auto &m : rows) {
+        if (m.suite == suite && m.config == config)
+            vals.push_back(get(m));
+    }
+    return geomean(vals);
+}
+
+double
+suiteMean(const std::vector<Metrics> &rows, const std::string &suite,
+          const std::string &config,
+          const std::function<double(const Metrics &)> &get)
+{
+    double sum = 0;
+    unsigned n = 0;
+    for (const auto &m : rows) {
+        if (m.suite == suite && m.config == config) {
+            sum += get(m);
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+std::vector<std::string>
+benchmarksIn(const std::vector<Metrics> &rows)
+{
+    std::vector<std::string> names;
+    for (const auto &m : rows) {
+        if (std::find(names.begin(), names.end(), m.benchmark) ==
+            names.end()) {
+            names.push_back(m.benchmark);
+        }
+    }
+    return names;
+}
+
+} // namespace d2m

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table/series printers used by the bench binaries to emit
+ * paper-style rows (one printer per table/figure shape).
+ */
+
+#ifndef D2M_HARNESS_REPORT_HH
+#define D2M_HARNESS_REPORT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.hh"
+
+namespace d2m
+{
+
+/** A fixed-width text table builder. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void addSeparator();
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+/** Format @p v with @p decimals digits. */
+std::string fmt(double v, int decimals = 1);
+
+/** Select rows for one (benchmark, config). */
+const Metrics *findRow(const std::vector<Metrics> &rows,
+                       const std::string &benchmark,
+                       const std::string &config);
+
+/** Geomean of a metric over a suite's benchmarks for one config. */
+double suiteGeomean(const std::vector<Metrics> &rows,
+                    const std::string &suite, const std::string &config,
+                    const std::function<double(const Metrics &)> &get);
+
+/** Plain mean variant. */
+double suiteMean(const std::vector<Metrics> &rows, const std::string &suite,
+                 const std::string &config,
+                 const std::function<double(const Metrics &)> &get);
+
+/** Distinct benchmark names (in order) of @p rows. */
+std::vector<std::string> benchmarksIn(const std::vector<Metrics> &rows);
+
+} // namespace d2m
+
+#endif // D2M_HARNESS_REPORT_HH

@@ -1,0 +1,86 @@
+#include "harness/runner.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace d2m
+{
+
+Metrics
+runOne(ConfigKind kind, const NamedWorkload &wl, const SweepOptions &opts)
+{
+    auto system = makeSystem(kind, opts.baseParams);
+
+    std::uint64_t measured = opts.instsPerCore;
+    if (measured == 0)
+        measured = instsPerCoreOverride();
+    if (measured == 0)
+        measured = wl.params.instructionsPerCore;
+
+    std::uint64_t warmup = opts.warmupInstsPerCore;
+    if (warmup == ~std::uint64_t(0)) {
+        warmup = measured;
+        if (const char *env = std::getenv("D2M_WARMUP"))
+            warmup = std::strtoull(env, nullptr, 10);
+    }
+
+    auto streams = makeStreams(wl, system->params().numNodes,
+                               system->params().lineSize,
+                               measured + warmup);
+    RunOptions ropts = opts.runOptions;
+    ropts.warmupInstsPerCore = warmup;
+    const RunResult run = runMulticore(*system, streams, ropts);
+    Metrics m = collectMetrics(kind, wl.suite, wl.name, *system, run);
+    if (run.valueErrors || run.invariantErrors) {
+        std::fprintf(stderr,
+                     "ERROR: %s/%s on %s: %llu value errors, %llu "
+                     "invariant errors: %s\n",
+                     wl.suite.c_str(), wl.name.c_str(),
+                     configKindName(kind),
+                     static_cast<unsigned long long>(run.valueErrors),
+                     static_cast<unsigned long long>(run.invariantErrors),
+                     run.firstError.c_str());
+    }
+    return m;
+}
+
+std::vector<Metrics>
+runSweep(const std::vector<ConfigKind> &configs,
+         const std::vector<NamedWorkload> &workloads,
+         const SweepOptions &opts)
+{
+    std::vector<Metrics> rows;
+    rows.reserve(configs.size() * workloads.size());
+    for (const auto &wl : workloads) {
+        for (ConfigKind kind : configs) {
+            if (opts.verbose) {
+                std::fprintf(stderr, "  running %-10s %-14s on %s...\n",
+                             wl.suite.c_str(), wl.name.c_str(),
+                             configKindName(kind));
+            }
+            rows.push_back(runOne(kind, wl, opts));
+        }
+    }
+    return rows;
+}
+
+std::vector<NamedWorkload>
+filteredWorkloads(std::vector<NamedWorkload> workloads)
+{
+    const char *suite = std::getenv("D2M_SUITE_FILTER");
+    const char *bench = std::getenv("D2M_BENCH_FILTER");
+    if (!suite && !bench)
+        return workloads;
+    std::vector<NamedWorkload> out;
+    for (auto &wl : workloads) {
+        if (suite && wl.suite.find(suite) == std::string::npos)
+            continue;
+        if (bench && wl.name.find(bench) == std::string::npos)
+            continue;
+        out.push_back(wl);
+    }
+    return out;
+}
+
+} // namespace d2m

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Experiment runner: executes (configuration x benchmark) sweeps and
+ * collects Metrics rows for the report printers.
+ */
+
+#ifndef D2M_HARNESS_RUNNER_HH
+#define D2M_HARNESS_RUNNER_HH
+
+#include <vector>
+
+#include "harness/metrics.hh"
+#include "workload/suites.hh"
+
+namespace d2m
+{
+
+/** Options for a sweep. */
+struct SweepOptions
+{
+    SystemParams baseParams{};
+    std::uint64_t instsPerCore = 0;  //!< 0 = workload default / env.
+    /** Warmup instructions per core before counters reset; by default
+     * equal to the measured instruction count (env D2M_WARMUP
+     * overrides). */
+    std::uint64_t warmupInstsPerCore = ~std::uint64_t(0);
+    bool verbose = true;             //!< Progress lines to stderr.
+    RunOptions runOptions{};
+};
+
+/** Run one benchmark on one configuration. */
+Metrics runOne(ConfigKind kind, const NamedWorkload &wl,
+               const SweepOptions &opts = {});
+
+/** Run every (config, workload) pair. Rows grouped by workload. */
+std::vector<Metrics> runSweep(const std::vector<ConfigKind> &configs,
+                              const std::vector<NamedWorkload> &workloads,
+                              const SweepOptions &opts = {});
+
+/** Filter by env D2M_SUITE_FILTER / D2M_BENCH_FILTER (substring). */
+std::vector<NamedWorkload>
+filteredWorkloads(std::vector<NamedWorkload> workloads);
+
+} // namespace d2m
+
+#endif // D2M_HARNESS_RUNNER_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The memory access descriptor exchanged between cores and memory
+ * systems, and the per-access result returned by a memory system.
+ */
+
+#ifndef D2M_MEM_ACCESS_HH
+#define D2M_MEM_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/** One memory reference issued by a core. */
+struct MemAccess
+{
+    AccessType type = AccessType::LOAD;
+    Addr vaddr = 0;           //!< Virtual byte address.
+    AsId asid = 0;            //!< Address space (process) id.
+    /**
+     * Number of instructions this access represents. Instruction
+     * fetches are issued once per cache line of sequential execution
+     * and carry the count of instructions in that line; data accesses
+     * carry 0 (their instruction is accounted by the covering fetch).
+     */
+    std::uint32_t instCount = 0;
+    /** Value to store (STORE) — checked against golden memory. */
+    std::uint64_t storeValue = 0;
+};
+
+/** Where in the hierarchy an access was satisfied. */
+enum class ServiceLevel : std::uint8_t
+{
+    L1,        //!< Hit in the local L1.
+    L2,        //!< Hit in the local (private) L2.
+    LLC_NEAR,  //!< Hit in the node's own near-side LLC slice.
+    LLC_FAR,   //!< Hit in the far-side LLC or a remote NS slice.
+    REMOTE,    //!< Serviced by a copy in a remote node's private caches.
+    MEMORY,    //!< Serviced by DRAM.
+};
+
+/** Result of one memory access through a memory system. */
+struct AccessResult
+{
+    Cycles latency = 0;            //!< Load-to-use latency in cycles.
+    ServiceLevel level = ServiceLevel::L1;
+    bool l1Miss = false;           //!< True if the L1 lookup missed.
+    /** Value observed by a LOAD/IFETCH (for golden-memory checking). */
+    std::uint64_t loadValue = 0;
+};
+
+} // namespace d2m
+
+#endif // D2M_MEM_ACCESS_HH

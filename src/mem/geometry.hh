@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Set-associative array geometry shared by caches and metadata stores.
+ */
+
+#ifndef D2M_MEM_GEOMETRY_HH
+#define D2M_MEM_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/**
+ * Geometry of a set-associative structure indexed by line address.
+ *
+ * The indexed unit is a cache line for data caches and a region for
+ * metadata stores; @c unitShift is log2 of the unit size in bytes.
+ */
+class SetAssocGeometry
+{
+  public:
+    SetAssocGeometry() = default;
+
+    /**
+     * @param total_units total number of units (lines/regions) stored
+     * @param assoc       associativity (ways); must divide total_units
+     * @param unit_shift  log2 of the unit size in bytes
+     */
+    SetAssocGeometry(std::uint32_t total_units, std::uint32_t assoc,
+                     unsigned unit_shift)
+        : assoc_(assoc), unitShift_(unit_shift)
+    {
+        fatal_if(assoc == 0 || total_units == 0,
+                 "geometry needs non-zero size and associativity");
+        fatal_if(total_units % assoc != 0,
+                 "total units (%u) not a multiple of associativity (%u)",
+                 total_units, assoc);
+        sets_ = total_units / assoc;
+        fatal_if(!isPowerOf2(sets_), "number of sets (%u) must be a "
+                 "power of two", sets_);
+        setShift_ = floorLog2(sets_);
+    }
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    unsigned unitShift() const { return unitShift_; }
+
+    /** Unit number (line/region number) of byte address @p addr. */
+    std::uint64_t unitNumber(Addr addr) const { return addr >> unitShift_; }
+
+    /**
+     * Set index for @p addr, optionally XOR-scrambled with
+     * @p scramble (used by D2M dynamic indexing, Section IV-D).
+     */
+    std::uint32_t
+    setIndex(Addr addr, std::uint32_t scramble = 0) const
+    {
+        return static_cast<std::uint32_t>(
+            (unitNumber(addr) ^ scramble) & (sets_ - 1));
+    }
+
+  private:
+    std::uint32_t sets_ = 1;
+    std::uint32_t assoc_ = 1;
+    unsigned unitShift_ = 6;
+    unsigned setShift_ = 0;
+};
+
+} // namespace d2m
+
+#endif // D2M_MEM_GEOMETRY_HH

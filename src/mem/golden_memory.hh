@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The functional "golden" memory image.
+ *
+ * Every simulated system carries real per-cacheline values through its
+ * caches; the golden memory records the architecturally correct value
+ * after each (atomically executed) store in global order. Tests compare
+ * every load's observed value against the golden image, which makes
+ * coherence-protocol bugs immediately visible.
+ */
+
+#ifndef D2M_MEM_GOLDEN_MEMORY_HH
+#define D2M_MEM_GOLDEN_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/** Flat per-line functional memory image (physical line address keyed). */
+class GoldenMemory
+{
+  public:
+    /** Record a store of @p value to physical line @p line_addr. */
+    void
+    store(Addr line_addr, std::uint64_t value)
+    {
+        values_[line_addr] = value;
+    }
+
+    /** @return the current value of physical line @p line_addr (0 if
+     * never written). */
+    std::uint64_t
+    load(Addr line_addr) const
+    {
+        auto it = values_.find(line_addr);
+        return it == values_.end() ? 0 : it->second;
+    }
+
+    std::size_t linesTouched() const { return values_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> values_;
+};
+
+} // namespace d2m
+
+#endif // D2M_MEM_GOLDEN_MEMORY_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DRAM model: the backing store of per-line values plus access
+ * counters used for latency/energy accounting.
+ */
+
+#ifndef D2M_MEM_MAIN_MEMORY_HH
+#define D2M_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace d2m
+{
+
+/** Main memory: per-line value store with read/write counters. */
+class MainMemory : public SimObject
+{
+  public:
+    MainMemory(std::string name, SimObject *parent)
+        : SimObject(std::move(name), parent),
+          reads(this, "reads", "DRAM line reads"),
+          writes(this, "writes", "DRAM line writes")
+    {}
+
+    /** Read physical line @p line_addr (lines are zero-initialized). */
+    std::uint64_t
+    read(Addr line_addr)
+    {
+        ++reads;
+        auto it = values_.find(line_addr);
+        return it == values_.end() ? 0 : it->second;
+    }
+
+    /** Write back physical line @p line_addr. */
+    void
+    write(Addr line_addr, std::uint64_t value)
+    {
+        ++writes;
+        values_[line_addr] = value;
+    }
+
+    /** Functional peek without counting an access (for checkers). */
+    std::uint64_t
+    peek(Addr line_addr) const
+    {
+        auto it = values_.find(line_addr);
+        return it == values_.end() ? 0 : it->second;
+    }
+
+    stats::Counter reads;
+    stats::Counter writes;
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> values_;
+};
+
+} // namespace d2m
+
+#endif // D2M_MEM_MAIN_MEMORY_HH

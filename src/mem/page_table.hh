@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Virtual memory substrate: a demand-allocating page table shared by
+ * all systems, and a small TLB model.
+ *
+ * The baselines translate on every access through a per-core L1 TLB;
+ * D2M's MD1 is virtually tagged, so it only translates on MD1 misses
+ * through TLB2 (paper Section II-A / Figure 1).
+ */
+
+#ifndef D2M_MEM_PAGE_TABLE_HH
+#define D2M_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/geometry.hh"
+#include "sim/sim_object.hh"
+
+namespace d2m
+{
+
+/**
+ * Forward page table mapping (asid, vpage) to a physical frame.
+ *
+ * Two allocation modes:
+ *  - identity (default): frame = vpage + asid * 16M. This models
+ *    huge-page / THP-style allocation where virtual alignment is
+ *    preserved physically — required for the power-of-two-stride
+ *    conflict pathology that dynamic indexing targets (Section IV-D;
+ *    the paper runs full-system Linux where large buffers land in
+ *    aligned allocations).
+ *  - demand: sequentially allocated 4K frames in touch order.
+ */
+class PageTable
+{
+  public:
+    enum class Mode { Identity, Demand };
+
+    explicit PageTable(unsigned page_shift = 12,
+                       Mode mode = Mode::Identity)
+        : pageShift_(page_shift), mode_(mode)
+    {}
+
+    unsigned pageShift() const { return pageShift_; }
+
+    /** Translate @p vaddr in @p asid, allocating a frame on first touch. */
+    Addr
+    translate(AsId asid, Addr vaddr)
+    {
+        const std::uint64_t vpage = vaddr >> pageShift_;
+        std::uint64_t frame;
+        if (mode_ == Mode::Identity) {
+            frame = vpage + (std::uint64_t(asid) << 24);
+            if (touched_.insert((std::uint64_t(asid) << 40) ^ vpage)
+                    .second) {
+                ++pages_;
+            }
+        } else {
+            const Key key{asid, vpage};
+            auto it = map_.find(key);
+            if (it == map_.end()) {
+                frame = nextFrame_++;
+                ++pages_;
+                map_.emplace(key, frame);
+            } else {
+                frame = it->second;
+            }
+        }
+        const Addr offset = vaddr & ((Addr(1) << pageShift_) - 1);
+        return (frame << pageShift_) | offset;
+    }
+
+    std::uint64_t numPages() const { return pages_; }
+
+  private:
+    struct Key
+    {
+        AsId asid;
+        std::uint64_t vpage;
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<std::uint64_t>()(
+                (std::uint64_t(k.asid) << 48) ^ k.vpage);
+        }
+    };
+
+    unsigned pageShift_;
+    Mode mode_;
+    std::uint64_t nextFrame_ = 1;  // frame 0 reserved
+    std::uint64_t pages_ = 0;
+    std::unordered_map<Key, std::uint64_t, KeyHash> map_;
+    std::unordered_set<std::uint64_t> touched_;
+};
+
+/**
+ * A fully-associative LRU TLB. Models hit/miss behaviour only; the
+ * translation itself always comes from the shared PageTable.
+ */
+class Tlb : public SimObject
+{
+  public:
+    Tlb(std::string name, SimObject *parent, unsigned entries,
+        unsigned page_shift = 12)
+        : SimObject(std::move(name), parent),
+          hits(this, "hits", "TLB hits"),
+          misses(this, "misses", "TLB misses (page walks)"),
+          entries_(entries), pageShift_(page_shift)
+    {}
+
+    /** @return true on hit; on miss the entry is filled (LRU victim). */
+    bool
+    lookup(AsId asid, Addr vaddr)
+    {
+        const std::uint64_t tag =
+            (std::uint64_t(asid) << 48) ^ (vaddr >> pageShift_);
+        ++clock_;
+        auto it = lru_.find(tag);
+        if (it != lru_.end()) {
+            it->second = clock_;
+            ++hits;
+            return true;
+        }
+        ++misses;
+        if (lru_.size() >= entries_) {
+            auto victim = lru_.begin();
+            for (auto jt = lru_.begin(); jt != lru_.end(); ++jt) {
+                if (jt->second < victim->second)
+                    victim = jt;
+            }
+            lru_.erase(victim);
+        }
+        lru_.emplace(tag, clock_);
+        return false;
+    }
+
+    stats::Counter hits;
+    stats::Counter misses;
+
+  private:
+    unsigned entries_;
+    unsigned pageShift_;
+    std::uint64_t clock_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> lru_;
+};
+
+} // namespace d2m
+
+#endif // D2M_MEM_PAGE_TABLE_HH

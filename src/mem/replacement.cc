@@ -1,0 +1,72 @@
+#include "mem/replacement.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace d2m
+{
+
+std::uint32_t
+LruPolicy::victim(const std::vector<ReplState *> &ways,
+                  const std::function<double(std::uint32_t)> &)
+{
+    panic_if(ways.empty(), "victim selection over zero ways");
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < ways.size(); ++i) {
+        if (ways[i]->lastTouch < ways[best]->lastTouch)
+            best = i;
+    }
+    return best;
+}
+
+std::uint32_t
+RandomPolicy::victim(const std::vector<ReplState *> &ways,
+                     const std::function<double(std::uint32_t)> &)
+{
+    panic_if(ways.empty(), "victim selection over zero ways");
+    return static_cast<std::uint32_t>(rng_.below(ways.size()));
+}
+
+std::uint32_t
+CostAwareLruPolicy::victim(
+    const std::vector<ReplState *> &ways,
+    const std::function<double(std::uint32_t)> &cost_of)
+{
+    panic_if(ways.empty(), "victim selection over zero ways");
+
+    // Rank ways by recency: oldest gets rank 0.
+    std::uint32_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < ways.size(); ++i) {
+        // Recency rank computed as the number of ways older than i.
+        unsigned rank = 0;
+        for (std::uint32_t j = 0; j < ways.size(); ++j) {
+            if (ways[j]->lastTouch < ways[i]->lastTouch)
+                ++rank;
+        }
+        const double cost = cost_of ? cost_of(i) : 0.0;
+        const double score = cost * costWeight_ + static_cast<double>(rank);
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return std::make_unique<LruPolicy>();
+      case ReplKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+      case ReplKind::CostAwareLru:
+        return std::make_unique<CostAwareLruPolicy>();
+    }
+    panic("unknown replacement kind");
+}
+
+} // namespace d2m

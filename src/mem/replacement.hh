@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Replacement policy interfaces and implementations.
+ *
+ * Policies operate on one set at a time through small per-way state
+ * blocks. Three policies are provided:
+ *  - LRU: classic least-recently-used.
+ *  - Random: deterministic pseudo-random victim choice.
+ *  - CostAwareLru: LRU biased by an externally supplied eviction cost,
+ *    used for metadata stores where the paper prefers victims that
+ *    track few cachelines / few sharers (Sections II-A and III).
+ */
+
+#ifndef D2M_MEM_REPLACEMENT_HH
+#define D2M_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/** Per-way replacement state (interpreted by the owning policy). */
+struct ReplState
+{
+    std::uint64_t lastTouch = 0;
+};
+
+/** Abstract replacement policy over the ways of one set. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a use of a way at time @p now. */
+    virtual void touch(ReplState &state, Tick now) = 0;
+
+    /** Record the initial installation into a way at time @p now. */
+    virtual void install(ReplState &state, Tick now) = 0;
+
+    /**
+     * Pick a victim among @p ways. @p cost_of gives the eviction cost
+     * of each way (ignored by cost-oblivious policies); invalid ways
+     * are pre-filtered by the caller.
+     * @return the index into @p ways of the chosen victim.
+     */
+    virtual std::uint32_t
+    victim(const std::vector<ReplState *> &ways,
+           const std::function<double(std::uint32_t)> &cost_of) = 0;
+};
+
+/** Least-recently-used. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void touch(ReplState &state, Tick now) override { state.lastTouch = now; }
+    void install(ReplState &state, Tick now) override
+    {
+        state.lastTouch = now;
+    }
+
+    std::uint32_t
+    victim(const std::vector<ReplState *> &ways,
+           const std::function<double(std::uint32_t)> &) override;
+};
+
+/** Deterministic pseudo-random replacement. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
+
+    void touch(ReplState &, Tick) override {}
+    void install(ReplState &, Tick) override {}
+
+    std::uint32_t
+    victim(const std::vector<ReplState *> &ways,
+           const std::function<double(std::uint32_t)> &) override;
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * LRU biased by eviction cost: picks the way minimizing
+ * cost * costWeight + recency_rank. With costWeight = 0 it degrades
+ * to plain LRU.
+ */
+class CostAwareLruPolicy : public ReplacementPolicy
+{
+  public:
+    explicit CostAwareLruPolicy(double cost_weight = 2.0)
+        : costWeight_(cost_weight)
+    {}
+
+    void touch(ReplState &state, Tick now) override { state.lastTouch = now; }
+    void install(ReplState &state, Tick now) override
+    {
+        state.lastTouch = now;
+    }
+
+    std::uint32_t
+    victim(const std::vector<ReplState *> &ways,
+           const std::function<double(std::uint32_t)> &cost_of) override;
+
+  private:
+    double costWeight_;
+};
+
+/** Factory helper. */
+enum class ReplKind { LRU, Random, CostAwareLru };
+
+std::unique_ptr<ReplacementPolicy> makeReplacement(ReplKind kind,
+                                                   std::uint64_t seed = 1);
+
+} // namespace d2m
+
+#endif // D2M_MEM_REPLACEMENT_HH

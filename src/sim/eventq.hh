@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A minimal discrete-event queue.
+ *
+ * The hierarchy simulator executes memory transactions atomically with
+ * timing annotation (see cpu/multicore.hh), so the event queue's main
+ * customers are periodic activities: the NS-LLC pressure exchange,
+ * statistics epochs, and tests that need explicit event ordering.
+ */
+
+#ifndef D2M_SIM_EVENTQ_HH
+#define D2M_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/** A discrete-event queue ordered by (tick, insertion order). */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Schedule @p cb to run at absolute time @p when. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule a callback every @p period ticks, starting at @p first. */
+    void
+    schedulePeriodic(Tick first, Tick period, Callback cb)
+    {
+        schedule(first, [this, period, cb](Tick now) {
+            cb(now);
+            schedulePeriodic(now + period, period, cb);
+        });
+    }
+
+    /**
+     * Run all events with tick <= @p until. The queue's current time
+     * advances monotonically; events scheduled in the past by a
+     * callback run at the current time.
+     */
+    void
+    runUntil(Tick until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until) {
+            Entry e = heap_.top();
+            heap_.pop();
+            if (e.when > now_)
+                now_ = e.when;
+            e.cb(now_);
+        }
+        if (until > now_)
+            now_ = until;
+    }
+
+    Tick now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+    /** Next scheduled tick, or maxTick if empty. */
+    Tick
+    nextTick() const
+    {
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+    Tick now_ = 0;
+};
+
+} // namespace d2m
+
+#endif // D2M_SIM_EVENTQ_HH

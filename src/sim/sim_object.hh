@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Base class for named simulation objects.
+ *
+ * A SimObject is a StatGroup with a name; concrete hierarchy pieces
+ * (caches, metadata stores, the interconnect) derive from it so their
+ * statistics land in a coherent namespace.
+ */
+
+#ifndef D2M_SIM_SIM_OBJECT_HH
+#define D2M_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "common/stats.hh"
+
+namespace d2m
+{
+
+/** A named object owning a statistics group. */
+class SimObject : public stats::StatGroup
+{
+  public:
+    SimObject(std::string name, SimObject *parent = nullptr)
+        : stats::StatGroup(std::move(name), parent)
+    {}
+
+    ~SimObject() override = default;
+
+    /** Object name (the last path component). */
+    const std::string &name() const { return statName(); }
+};
+
+} // namespace d2m
+
+#endif // D2M_SIM_SIM_OBJECT_HH

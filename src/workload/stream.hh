@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The access-stream interface between workloads and cores.
+ *
+ * A stream produces one core's sequence of memory references.
+ * Instruction fetches are emitted once per cache line of sequential
+ * execution and carry the number of instructions covered; data
+ * references carry instCount 0 (see mem/access.hh).
+ */
+
+#ifndef D2M_WORKLOAD_STREAM_HH
+#define D2M_WORKLOAD_STREAM_HH
+
+#include "mem/access.hh"
+
+namespace d2m
+{
+
+/** One core's memory reference generator. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /**
+     * Produce the next reference.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(MemAccess &out) = 0;
+};
+
+} // namespace d2m
+
+#endif // D2M_WORKLOAD_STREAM_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Named workload presets mirroring the paper's five suites
+ * (Section V-A): Parallel (Parsec), HPC (Splash2x), Mobile (Chrome +
+ * Telemetry sites), Server (SPEC CPU2006 mixes) and Database (TPC-C).
+ *
+ * Each preset's parameters are chosen to reproduce that category's
+ * characterization in Table IV (e.g. Database's 8.8% L1-I miss ratio
+ * from a multi-MB instruction footprint; Server's fully private data
+ * from disjoint address spaces; Splash2x `lu`'s power-of-two strides).
+ */
+
+#ifndef D2M_WORKLOAD_SUITES_HH
+#define D2M_WORKLOAD_SUITES_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace d2m
+{
+
+/** All benchmarks of one suite. */
+std::vector<NamedWorkload> parallelSuite();
+std::vector<NamedWorkload> hpcSuite();
+std::vector<NamedWorkload> mobileSuite();
+std::vector<NamedWorkload> serverSuite();
+std::vector<NamedWorkload> databaseSuite();
+
+/** Every suite, concatenated in the paper's order. */
+std::vector<NamedWorkload> allSuites();
+
+/** The distinct suite names, in order. */
+std::vector<std::string> suiteNames();
+
+/**
+ * Instantiate per-core streams for @p wl.
+ * @param insts_override if non-zero, overrides instructionsPerCore.
+ */
+std::vector<std::unique_ptr<AccessStream>>
+makeStreams(const NamedWorkload &wl, unsigned num_cores,
+            unsigned line_size, std::uint64_t insts_override = 0);
+
+/** Env-var override D2M_INSTS_PER_CORE (0 if unset). */
+std::uint64_t instsPerCoreOverride();
+
+} // namespace d2m
+
+#endif // D2M_WORKLOAD_SUITES_HH

@@ -1,0 +1,187 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace d2m
+{
+
+SyntheticStream::SyntheticStream(const WorkloadParams &params, NodeId core,
+                                 unsigned line_size)
+    : p_(params), core_(core), lineSize_(line_size),
+      instsPerLine_(std::max(1u, line_size / 4)),
+      asid_(params.disjointAsids ? core + 1 : 0),
+      rng_(params.seed * 0x9e3779b9ull + core * 0x85ebca6bull + 1)
+{
+    codeBase_ = 0x1000'0000ull;
+    privBase_ = 0x2000'0000ull + Addr(core) * 0x1000'0000ull;
+    sharedBase_ = 0x5000'0000ull;
+    stackBase_ = 0x7f00'0000ull + Addr(core) * 0x10'0000ull;
+    // Cores start at staggered code positions so that parallel workers
+    // are not in artificial lockstep.
+    const std::uint64_t code_lines =
+        std::max<std::uint64_t>(1, p_.codeFootprint / lineSize_);
+    codeLine_ = (rng_.below(code_lines)) * lineSize_;
+}
+
+void
+SyntheticStream::advanceCodeLine()
+{
+    const std::uint64_t code_lines =
+        std::max<std::uint64_t>(1, p_.codeFootprint / lineSize_);
+    if (rng_.chance(p_.branchiness)) {
+        // Branch within a three-tier code locality model: a hot
+        // L1-I-resident region, a warm L2/LLC-resident region, and
+        // cold paths anywhere in the footprint.
+        const std::uint64_t hot_lines = std::max<std::uint64_t>(
+            1, std::min<std::uint64_t>(
+                   static_cast<std::uint64_t>(
+                       static_cast<double>(code_lines) * 0.12),
+                   320));
+        const std::uint64_t warm_lines = std::max<std::uint64_t>(
+            hot_lines,
+            std::min<std::uint64_t>(code_lines, 2048));
+        const double r = rng_.uniform();
+        std::uint64_t target;
+        if (r < p_.hotCodeFraction)
+            target = rng_.below(hot_lines);
+        else if (r < p_.hotCodeFraction + p_.warmCodeFraction)
+            target = rng_.below(warm_lines);
+        else
+            target = rng_.below(code_lines);
+        codeLine_ = target * lineSize_;
+    } else {
+        codeLine_ = (codeLine_ + lineSize_) % (code_lines * lineSize_);
+    }
+}
+
+Addr
+SyntheticStream::pickDataAddr(bool &is_shared)
+{
+    is_shared = false;
+    const double r = rng_.uniform();
+    if (r < p_.stackFraction) {
+        // Stack: a handful of hot lines.
+        return stackBase_ + rng_.below(64) * 8;
+    }
+    if (r < p_.stackFraction + p_.sharedFraction &&
+        p_.sharedFootprint > 0) {
+        is_shared = true;
+        const std::uint64_t lines = p_.sharedFootprint / lineSize_;
+        if (rng_.chance(p_.hotSharedFraction)) {
+            // Hot shared window with migratory chunk affinity: the
+            // core works within its current chunk and periodically
+            // migrates to another one.
+            const std::uint64_t hot =
+                std::max<std::uint64_t>(16, std::min<std::uint64_t>(
+                                                lines / 16, 512));
+            const std::uint64_t chunks = 16;
+            const std::uint64_t chunk_lines =
+                std::max<std::uint64_t>(1, hot / chunks);
+            if (sharedRefs_++ % p_.sharedChunkRefs == 0)
+                sharedChunk_ = rng_.below(chunks);
+            return sharedBase_ +
+                   (sharedChunk_ * chunk_lines +
+                    rng_.below(chunk_lines)) * lineSize_;
+        }
+        return sharedBase_ + rng_.below(lines) * lineSize_;
+    }
+    // Private heap.
+    const std::uint64_t bytes = std::max<std::uint64_t>(p_.privateFootprint,
+                                                        lineSize_);
+    if (rng_.chance(p_.streamFraction)) {
+        if (p_.stridedPattern) {
+            // Pathological power-of-two stride (LU-like): consecutive
+            // references map to the same set in a conventionally
+            // indexed cache.
+            const Addr a =
+                privBase_ + (stridePos_ * p_.strideBytes) % bytes;
+            ++stridePos_;
+            return a;
+        }
+        // Word-granularity streaming: one new line per 8 references.
+        const Addr a = privBase_ + (streamPos_ % bytes);
+        streamPos_ += 8;
+        return a;
+    }
+    const std::uint64_t lines = bytes / lineSize_;
+    const double r2 = rng_.uniform();
+    if (r2 < p_.hotDataFraction) {
+        // Hot set sized to stay L1-resident (16 KiB).
+        const std::uint64_t hot_lines = std::min<std::uint64_t>(
+            lines, (16 * 1024) / lineSize_);
+        return privBase_ + rng_.below(hot_lines) * lineSize_;
+    }
+    if (r2 < p_.hotDataFraction + p_.warmDataFraction) {
+        // Warm window sized for the L2 / NS-LLC slice (96 KiB).
+        const std::uint64_t warm_lines = std::min<std::uint64_t>(
+            lines, (96 * 1024) / lineSize_);
+        return privBase_ + rng_.below(warm_lines) * lineSize_;
+    }
+    return privBase_ + rng_.below(lines) * lineSize_;
+}
+
+bool
+SyntheticStream::next(MemAccess &out)
+{
+    if (finished_)
+        return false;
+
+    // Emit pending data references for the current code line first.
+    if (emittedFetch_ && pendingDataOps_ > 0) {
+        --pendingDataOps_;
+        bool is_shared = false;
+        const Addr a = pickDataAddr(is_shared);
+        out.vaddr = a;
+        out.asid = asid_;  // data lives in the core's own space
+        out.instCount = 0;
+        const bool store = rng_.chance(
+            is_shared ? p_.sharedStoreFraction : p_.storeFraction);
+        if (store) {
+            out.type = AccessType::STORE;
+            out.storeValue =
+                (std::uint64_t(core_ + 1) << 48) ^ ++storeCounter_;
+        } else {
+            out.type = AccessType::LOAD;
+            out.storeValue = 0;
+        }
+        return true;
+    }
+
+    if (instsDone_ >= p_.instructionsPerCore) {
+        finished_ = true;
+        return false;
+    }
+
+    // New code line: one IFETCH covering the instructions executed
+    // there before control leaves the line.
+    advanceCodeLine();
+    std::uint64_t run = instsPerLine_;
+    if (p_.avgRunLength < instsPerLine_) {
+        // Uniform in [1, 2*avg-1]: mean avgRunLength.
+        const std::uint64_t hi = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(2 * p_.avgRunLength) - 1);
+        run = std::min<std::uint64_t>(instsPerLine_, 1 + rng_.below(hi));
+    }
+    const std::uint64_t insts = std::min<std::uint64_t>(
+        run, p_.instructionsPerCore - instsDone_);
+    instsDone_ += insts;
+    out.type = AccessType::IFETCH;
+    out.vaddr = codeBase_ + codeLine_;
+    // Code may be physically shared across processes (shared text).
+    out.asid = (p_.disjointAsids && !p_.sharedCode) ? asid_ : 0;
+    out.instCount = static_cast<std::uint32_t>(insts);
+    out.storeValue = 0;
+    emittedFetch_ = true;
+
+    // Draw the number of data references these instructions perform.
+    const double expected = static_cast<double>(insts) * p_.memOpsPerInst;
+    const unsigned base = static_cast<unsigned>(expected);
+    pendingDataOps_ =
+        base + (rng_.chance(expected - static_cast<double>(base)) ? 1 : 0);
+    return true;
+}
+
+} // namespace d2m

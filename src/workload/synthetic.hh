@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Synthetic workload generator.
+ *
+ * Replaces the paper's Parsec / Splash2x / Chrome / SPEC-mix / TPC-C
+ * workloads (which require full-system simulation) with parameterized
+ * access streams that reproduce the characteristics the paper reports
+ * and that drive its conclusions: instruction footprint (L1-I miss
+ * ratio, Table IV), data footprint and locality (L1-D miss ratio),
+ * sharing degree (coherence traffic, Table V), streaming vs random
+ * reuse (LLC effectiveness), and pathological power-of-two strides
+ * (dynamic indexing, Section IV-D). See DESIGN.md Section 2.
+ *
+ * Address-space layout per asid:
+ *   code    @ 0x1000'0000 (shared by all cores of the asid)
+ *   private @ 0x2000'0000 + core * 256 MiB
+ *   shared  @ 0x5000'0000
+ *   stack   @ 0x7f00'0000 + core * 1 MiB
+ */
+
+#ifndef D2M_WORKLOAD_SYNTHETIC_HH
+#define D2M_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workload/stream.hh"
+
+namespace d2m
+{
+
+/** Tunable knobs of one synthetic workload. */
+struct WorkloadParams
+{
+    std::uint64_t instructionsPerCore = 150'000;
+
+    // Instruction side.
+    std::uint64_t codeFootprint = 32 * 1024;  //!< Bytes of code.
+    /** Probability per executed line of branching to a random line
+     * within the code footprint (vs falling through sequentially). */
+    double branchiness = 0.2;
+    /** Fraction of branches staying within the hot (L1-resident)
+     * portion of the code. */
+    double hotCodeFraction = 0.9;
+    /** Fraction of branches staying within a warm (L2/LLC-resident,
+     * ~256 KiB) portion; the remainder go anywhere in the footprint.
+     * hotCodeFraction + warmCodeFraction must be <= 1. */
+    double warmCodeFraction = 0.07;
+
+    /** Mean instructions executed per code-line visit before a branch
+     * leaves the line (16 = straight-line code; small values model
+     * branchy code that touches many lines, raising the per-
+     * instruction fetch/miss rate as in the Database suite). */
+    double avgRunLength = 16.0;
+
+    // Data side.
+    double memOpsPerInst = 0.35;
+    double storeFraction = 0.3;   //!< Of data references.
+    double stackFraction = 0.3;   //!< High-locality stack references.
+    double sharedFraction = 0.0;  //!< References into the shared heap.
+    /** Of private-heap references: sequential streaming portion
+     * (word-granularity, so one miss per 8 references); under
+     * stridedPattern this portion strides instead. */
+    double streamFraction = 0.2;
+    /** Of non-streaming private references: fraction going to a small
+     * L1-resident hot set (temporal locality). */
+    double hotDataFraction = 0.90;
+    /** Of non-streaming private references: fraction going to a warm
+     * (~192 KiB, L2/LLC-resident) window. hot + warm <= 1. */
+    double warmDataFraction = 0.08;
+    /** Of shared references: fraction going to a hot shared window. */
+    double hotSharedFraction = 0.92;
+    /** Stores as a fraction of shared references. Real parallel
+     * workloads write-share far less than they read-share; writes to
+     * shared lines are what trigger coherence (case C). */
+    double sharedStoreFraction = 0.12;
+    /**
+     * Shared accesses use migratory chunk affinity: each core works on
+     * one chunk of the hot window for sharedChunkRefs references, then
+     * hands off to another chunk. Consecutive same-core writes stay
+     * exclusive (silent upgrades); handoffs produce the paper's
+     * invalidation traffic.
+     */
+    std::uint64_t sharedChunkRefs = 1500;
+
+    std::uint64_t privateFootprint = 1 << 20;  //!< Per-core bytes.
+    std::uint64_t sharedFootprint = 0;         //!< Bytes (0 = none).
+
+    /** Pathological large power-of-two stride (Section IV-D / LU). */
+    bool stridedPattern = false;
+    std::uint64_t strideBytes = 64 * 1024;
+
+    /** Per-core address spaces (multiprogrammed SPEC mixes). */
+    bool disjointAsids = false;
+    /** With disjoint address spaces, still map code to shared physical
+     * pages (shared libraries / page cache, as in Chrome's process
+     * model). Ignored when disjointAsids is false. */
+    bool sharedCode = true;
+
+    std::uint64_t seed = 1;
+};
+
+/** One named benchmark: suite + name + parameters. */
+struct NamedWorkload
+{
+    std::string suite;
+    std::string name;
+    WorkloadParams params;
+};
+
+/** Synthetic per-core access stream. */
+class SyntheticStream : public AccessStream
+{
+  public:
+    SyntheticStream(const WorkloadParams &params, NodeId core,
+                    unsigned line_size);
+
+    bool next(MemAccess &out) override;
+
+  private:
+    Addr pickDataAddr(bool &is_shared);
+    void advanceCodeLine();
+
+    WorkloadParams p_;
+    NodeId core_;
+    unsigned lineSize_;
+    unsigned instsPerLine_;
+    AsId asid_;
+    Rng rng_;
+
+    Addr codeBase_, privBase_, sharedBase_, stackBase_;
+    Addr codeLine_ = 0;        //!< Current code line offset (bytes).
+    std::uint64_t instsDone_ = 0;
+    unsigned pendingDataOps_ = 0;
+    bool emittedFetch_ = false;
+    std::uint64_t streamPos_ = 0;  //!< Sequential stream cursor.
+    std::uint64_t stridePos_ = 0;  //!< Strided pattern cursor.
+    std::uint64_t storeCounter_ = 0;
+    std::uint64_t sharedRefs_ = 0;   //!< Shared refs (chunk timer).
+    std::uint64_t sharedChunk_ = 0;  //!< Current affinity chunk.
+    bool finished_ = false;
+};
+
+} // namespace d2m
+
+#endif // D2M_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Directed tests of the baseline directory-MESI systems (Base-2L /
+ * Base-3L): hits, sharing, upgrades, forwarding indirections,
+ * inclusion back-invalidation, and writeback correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/base_system.hh"
+#include "harness/configs.hh"
+#include "test_util.hh"
+
+namespace d2m
+{
+namespace
+{
+
+using test::ifetch;
+using test::load;
+using test::run;
+using test::store;
+
+std::unique_ptr<BaselineSystem>
+make2L(SystemParams base = {})
+{
+    return std::make_unique<BaselineSystem>(
+        "b2l", paramsFor(ConfigKind::Base2L, base));
+}
+
+std::unique_ptr<BaselineSystem>
+make3L(SystemParams base = {})
+{
+    return std::make_unique<BaselineSystem>(
+        "b3l", paramsFor(ConfigKind::Base3L, base));
+}
+
+constexpr Addr base = 0x4000'0000;
+constexpr Addr l1SetStride = 4096;
+
+TEST(Baseline, MissThenHit)
+{
+    auto sys = make2L();
+    const AccessResult miss = run(*sys, 0, load(base));
+    EXPECT_TRUE(miss.l1Miss);
+    EXPECT_EQ(miss.level, ServiceLevel::MEMORY);
+    const AccessResult hit = run(*sys, 0, load(base));
+    EXPECT_FALSE(hit.l1Miss);
+    EXPECT_LT(hit.latency, miss.latency);
+}
+
+TEST(Baseline, EveryMissConsultsTheDirectory)
+{
+    // The cost D2M removes: each L1 miss crosses the NoC and touches
+    // the directory/LLC tags.
+    auto sys = make2L();
+    run(*sys, 0, load(base));
+    run(*sys, 0, load(base + 64));
+    EXPECT_EQ(sys->energy().countOf(Structure::Directory), 2u);
+    EXPECT_GE(sys->energy().countOf(Structure::LlcTag), 2u * 32u);
+}
+
+TEST(Baseline, StoreVisibleToOtherNode)
+{
+    auto sys = make2L();
+    run(*sys, 0, store(base, 55));
+    EXPECT_EQ(run(*sys, 1, load(base)).loadValue, 55u);
+    EXPECT_EQ(run(*sys, 1, load(base)).loadValue, 55u);  // cached
+}
+
+TEST(Baseline, RemoteDirtyReadIsForwardedIndirection)
+{
+    auto sys = make2L();
+    run(*sys, 0, store(base, 9));  // node 0 holds M
+    const auto before = sys->hierStats().dirIndirections.value();
+    const AccessResult res = run(*sys, 1, load(base));
+    EXPECT_EQ(res.loadValue, 9u);
+    EXPECT_EQ(res.level, ServiceLevel::REMOTE);
+    EXPECT_EQ(sys->hierStats().dirIndirections.value(), before + 1);
+}
+
+TEST(Baseline, UpgradeInvalidatesSharers)
+{
+    auto sys = make2L();
+    run(*sys, 0, load(base));
+    run(*sys, 1, load(base));
+    run(*sys, 2, load(base));
+    const auto inv_before = sys->hierStats().invalidationsReceived.value();
+    run(*sys, 0, store(base, 3));  // S -> M upgrade
+    EXPECT_GT(sys->hierStats().invalidationsReceived.value(), inv_before);
+    EXPECT_EQ(run(*sys, 1, load(base)).loadValue, 3u);
+    EXPECT_EQ(run(*sys, 2, load(base)).loadValue, 3u);
+}
+
+TEST(Baseline, SilentStoreOnExclusiveGrant)
+{
+    auto sys = make2L();
+    run(*sys, 0, load(base));  // sole reader: E grant
+    const auto msgs = sys->noc().totalMessages.value();
+    run(*sys, 0, store(base, 1));  // E -> M silently
+    EXPECT_EQ(sys->noc().totalMessages.value(), msgs);
+}
+
+TEST(Baseline, DirtyEvictionWritesBackToLlc)
+{
+    auto sys = make2L();
+    run(*sys, 0, store(base, 77));
+    // Evict the dirty line with same-set fills.
+    for (unsigned i = 1; i < 10; ++i)
+        run(*sys, 0, load(base + i * l1SetStride));
+    // The value survives in the LLC (no DRAM read needed).
+    const auto dram = sys->memory().reads.value();
+    EXPECT_EQ(run(*sys, 0, load(base)).loadValue, 77u);
+    EXPECT_EQ(sys->memory().reads.value(), dram);
+}
+
+TEST(Baseline, InclusionBackInvalidation)
+{
+    SystemParams tiny;
+    tiny.llc.sizeBytes = 64 * 1024;  // 32 sets x 32 ways
+    auto sys = make2L(tiny);
+    run(*sys, 0, store(base, 5));
+    // Blow the LLC set containing `base` (LLC set stride: 32 sets x
+    // 64 B = 2 KiB) so inclusion forces the L1 copy out too.
+    for (unsigned i = 1; i < 40; ++i)
+        run(*sys, 1, load(base + i * 2048));
+    // Value still correct after the back-invalidation + writeback.
+    EXPECT_EQ(run(*sys, 0, load(base)).loadValue, 5u);
+    std::string why;
+    EXPECT_TRUE(sys->checkInvariants(why)) << why;
+}
+
+TEST(Baseline3L, L2ServicesL1Misses)
+{
+    auto sys = make3L();
+    run(*sys, 0, load(base));
+    // Evict from L1 (64 sets) but not from the 512-set L2.
+    for (unsigned i = 1; i < 10; ++i)
+        run(*sys, 0, load(base + i * l1SetStride));
+    const auto near_before = sys->hierStats().nearHitsD.value();
+    const AccessResult res = run(*sys, 0, load(base));
+    if (res.l1Miss) {
+        EXPECT_EQ(res.level, ServiceLevel::L2);
+        EXPECT_EQ(sys->hierStats().nearHitsD.value(), near_before + 1);
+    }
+}
+
+TEST(Baseline3L, StoreCoherenceAcrossL2)
+{
+    auto sys = make3L();
+    run(*sys, 0, store(base, 1));
+    run(*sys, 1, load(base));
+    run(*sys, 1, store(base, 2));
+    run(*sys, 0, load(base));
+    EXPECT_EQ(run(*sys, 0, load(base)).loadValue, 2u);
+    std::string why;
+    EXPECT_TRUE(sys->checkInvariants(why)) << why;
+}
+
+TEST(Baseline, PerfectWayPredictionEnergy)
+{
+    // Paper Section V-A: Base-2L's L1 is granted perfect way
+    // prediction — one tag + one data way per hit.
+    auto sys = make2L();
+    run(*sys, 0, load(base));
+    const auto tags = sys->energy().countOf(Structure::L1Tag);
+    const auto data = sys->energy().countOf(Structure::L1Data);
+    run(*sys, 0, load(base));  // pure L1 hit
+    EXPECT_EQ(sys->energy().countOf(Structure::L1Tag), tags + 1);
+    EXPECT_EQ(sys->energy().countOf(Structure::L1Data), data + 1);
+}
+
+TEST(Baseline, TlbChargedOnEveryAccess)
+{
+    auto sys = make2L();
+    run(*sys, 0, load(base));
+    run(*sys, 0, load(base));
+    EXPECT_EQ(sys->energy().countOf(Structure::Tlb), 2u);
+}
+
+} // namespace
+} // namespace d2m

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for bit manipulation and integer math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "common/intmath.hh"
+
+namespace d2m
+{
+namespace
+{
+
+TEST(Bitfield, MaskBasics)
+{
+    EXPECT_EQ(mask(0, 0), 0x1u);
+    EXPECT_EQ(mask(3, 0), 0xfu);
+    EXPECT_EQ(mask(7, 4), 0xf0u);
+    EXPECT_EQ(mask(63, 0), ~std::uint64_t(0));
+    EXPECT_EQ(mask(63, 63), std::uint64_t(1) << 63);
+}
+
+TEST(Bitfield, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xff, 3, 1), 0x7u);
+}
+
+TEST(Bitfield, SingleBit)
+{
+    EXPECT_TRUE(bit(0x8, 3));
+    EXPECT_FALSE(bit(0x8, 2));
+    EXPECT_TRUE(bit(std::uint64_t(1) << 63, 63));
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xa), 0xa0u);
+    EXPECT_EQ(insertBits(0xffff, 7, 4, 0x0), 0xff0fu);
+    // Field wider than the slot is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(Bitfield, InsertExtractRoundTrip)
+{
+    for (unsigned first = 5; first < 30; first += 7) {
+        for (unsigned last = 0; last <= first; last += 3) {
+            const std::uint64_t field = 0x15 & mask(first - last, 0);
+            const std::uint64_t v = insertBits(0x123456789abcull, first,
+                                               last, field);
+            EXPECT_EQ(bits(v, first, last), field)
+                << "first=" << first << " last=" << last;
+        }
+    }
+}
+
+TEST(Bitfield, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t(0)), 64u);
+    EXPECT_EQ(popCount(0x5555555555555555ull), 32u);
+}
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_TRUE(isPowerOf2(std::uint64_t(1) << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+TEST(IntMath, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(IntMath, DivCeilAndRounding)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(roundDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(roundUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(roundUp(0x1200, 0x100), 0x1200u);
+}
+
+} // namespace
+} // namespace d2m

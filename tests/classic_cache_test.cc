@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the baseline tag-based MESI cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/classic_cache.hh"
+
+namespace d2m
+{
+namespace
+{
+
+TEST(ClassicCache, MissThenHit)
+{
+    SimObject parent("sys");
+    ClassicCache cache("l1", &parent, 64, 8, 6);
+    EXPECT_EQ(cache.lookup(0x10), nullptr);
+    ClassicLine &slot = cache.victimFor(0x10);
+    cache.install(slot, 0x10, Mesi::S, 42);
+    ClassicLine *line = cache.lookup(0x10);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->value, 42u);
+    EXPECT_EQ(line->state, Mesi::S);
+}
+
+TEST(ClassicCache, ProbeDoesNotTouchRecency)
+{
+    SimObject parent("sys");
+    ClassicCache cache("l1", &parent, 8, 4, 6);  // 2 sets
+    // Fill set 0 with lines 0, 2, 4, 6.
+    for (Addr a : {0x0ull, 0x2ull, 0x4ull, 0x6ull}) {
+        ClassicLine &s = cache.victimFor(a);
+        cache.install(s, a, Mesi::S, 0);
+    }
+    cache.probe(0x0);  // probe must NOT refresh line 0
+    ClassicLine &victim = cache.victimFor(0x8);
+    EXPECT_EQ(victim.lineAddr, 0x0u);
+}
+
+TEST(ClassicCache, LookupRefreshesRecency)
+{
+    SimObject parent("sys");
+    ClassicCache cache("l1", &parent, 8, 4, 6);
+    for (Addr a : {0x0ull, 0x2ull, 0x4ull, 0x6ull}) {
+        ClassicLine &s = cache.victimFor(a);
+        cache.install(s, a, Mesi::S, 0);
+    }
+    cache.lookup(0x0);
+    ClassicLine &victim = cache.victimFor(0x8);
+    EXPECT_EQ(victim.lineAddr, 0x2u);
+}
+
+TEST(ClassicCache, DirectoryFieldsResetOnInstall)
+{
+    SimObject parent("sys");
+    ClassicCache llc("llc", &parent, 64, 8, 6);
+    ClassicLine &slot = llc.victimFor(0x20);
+    llc.install(slot, 0x20, Mesi::S, 1);
+    slot.sharers = 0xf;
+    slot.owner = 2;
+    slot.invalidate();
+    ClassicLine &again = llc.victimFor(0x20);
+    llc.install(again, 0x20, Mesi::S, 2);
+    EXPECT_EQ(again.sharers, 0u);
+    EXPECT_EQ(again.owner, invalidNode);
+}
+
+TEST(ClassicCache, IsMru)
+{
+    SimObject parent("sys");
+    ClassicCache cache("l1", &parent, 8, 4, 6);
+    for (Addr a : {0x0ull, 0x2ull}) {
+        ClassicLine &s = cache.victimFor(a);
+        cache.install(s, a, Mesi::S, 0);
+    }
+    cache.lookup(0x0);
+    EXPECT_TRUE(cache.isMru(*cache.probe(0x0)));
+    EXPECT_FALSE(cache.isMru(*cache.probe(0x2)));
+}
+
+TEST(ClassicCache, ForEachLine)
+{
+    SimObject parent("sys");
+    ClassicCache cache("l1", &parent, 64, 8, 6);
+    for (Addr a : {0x1ull, 0x2ull, 0x3ull}) {
+        ClassicLine &s = cache.victimFor(a);
+        cache.install(s, a, Mesi::M, a);
+    }
+    unsigned count = 0;
+    cache.forEachLine([&](const ClassicLine &l) {
+        ++count;
+        EXPECT_EQ(l.state, Mesi::M);
+    });
+    EXPECT_EQ(count, 3u);
+}
+
+} // namespace
+} // namespace d2m

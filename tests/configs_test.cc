@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the five evaluated configurations (paper Table III /
+ * Figure 4): sizing, optimization toggles, implementation cost
+ * ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/configs.hh"
+
+namespace d2m
+{
+namespace
+{
+
+TEST(Configs, AllFivePresent)
+{
+    const auto all = allConfigs();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_STREQ(configKindName(all[0]), "Base-2L");
+    EXPECT_STREQ(configKindName(all[1]), "Base-3L");
+    EXPECT_STREQ(configKindName(all[2]), "D2M-FS");
+    EXPECT_STREQ(configKindName(all[3]), "D2M-NS");
+    EXPECT_STREQ(configKindName(all[4]), "D2M-NS-R");
+}
+
+TEST(Configs, TableIIIDefaults)
+{
+    const SystemParams p = paramsFor(ConfigKind::D2mFs);
+    EXPECT_EQ(p.numNodes, 4u);
+    EXPECT_EQ(p.lineSize, 64u);
+    EXPECT_EQ(p.regionLines, 16u);          // 1 KiB regions
+    EXPECT_EQ(p.l1i.sizeBytes, 32u * 1024); // 32 KiB 8-way L1s
+    EXPECT_EQ(p.l1d.assoc, 8u);
+    EXPECT_EQ(p.llc.sizeBytes, 4u * 1024 * 1024);
+    EXPECT_EQ(p.llc.assoc, 32u);            // total ways constant
+    // Footnote 5: 1x metadata scale = 128 / 4K / 16K entries.
+    EXPECT_EQ(p.md1Entries, 128u);
+    EXPECT_EQ(p.md2Entries, 4096u);
+    EXPECT_EQ(p.md3Entries, 16384u);
+}
+
+TEST(Configs, Base3LHasPrivateL2)
+{
+    EXPECT_FALSE(paramsFor(ConfigKind::Base2L).l2.present());
+    const SystemParams p3 = paramsFor(ConfigKind::Base3L);
+    EXPECT_TRUE(p3.l2.present());
+    EXPECT_EQ(p3.l2.sizeBytes, 256u * 1024);
+}
+
+TEST(Configs, OptimizationToggles)
+{
+    const SystemParams fs = paramsFor(ConfigKind::D2mFs);
+    EXPECT_FALSE(fs.nearSideLlc);
+    EXPECT_FALSE(fs.replication);
+    EXPECT_FALSE(fs.dynamicIndexing);
+
+    const SystemParams ns = paramsFor(ConfigKind::D2mNs);
+    EXPECT_TRUE(ns.nearSideLlc);
+    EXPECT_FALSE(ns.replication);
+
+    const SystemParams nsr = paramsFor(ConfigKind::D2mNsR);
+    EXPECT_TRUE(nsr.nearSideLlc);
+    EXPECT_TRUE(nsr.replication);
+    EXPECT_TRUE(nsr.dynamicIndexing);
+}
+
+TEST(Configs, SystemsBuildAndReportNames)
+{
+    for (ConfigKind kind : allConfigs()) {
+        auto sys = makeSystem(kind);
+        ASSERT_NE(sys, nullptr);
+        EXPECT_STREQ(sys->configName(), configKindName(kind));
+    }
+}
+
+TEST(Configs, ImplementationCostOrdering)
+{
+    // Figure 4: "Base-2L and D2M-NS-R have similar implementation
+    // costs while the cost of Base-3L is substantially higher due to
+    // its large L2 caches."
+    auto b2 = makeSystem(ConfigKind::Base2L);
+    auto b3 = makeSystem(ConfigKind::Base3L);
+    auto nsr = makeSystem(ConfigKind::D2mNsR);
+    EXPECT_GT(b3->sramKib(), b2->sramKib() + 900);  // ~1 MiB of L2
+    EXPECT_NEAR(nsr->sramKib(), b2->sramKib(),
+                0.1 * b2->sramKib());
+}
+
+TEST(Configs, CustomBaseParamsPropagate)
+{
+    SystemParams base;
+    base.numNodes = 8;
+    base.llc.sizeBytes = 8 * 1024 * 1024;
+    const SystemParams p = paramsFor(ConfigKind::D2mNs, base);
+    EXPECT_EQ(p.numNodes, 8u);
+    EXPECT_EQ(p.llc.sizeBytes, 8u * 1024 * 1024);
+    EXPECT_TRUE(p.nearSideLlc);
+}
+
+} // namespace
+} // namespace d2m

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the energy model: the relative ordering that drives the
+ * paper's EDP conclusions, and accounting arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace d2m
+{
+namespace
+{
+
+double
+pj(const EnergyTable &t, Structure s)
+{
+    return t.accessPj[static_cast<size_t>(s)];
+}
+
+TEST(EnergyTable, RelativeOrderingMatchesCacti)
+{
+    const EnergyTable t = EnergyTable::default22nm();
+    // Bigger arrays cost more per access.
+    EXPECT_LT(pj(t, Structure::L1Data), pj(t, Structure::L2Data));
+    EXPECT_LT(pj(t, Structure::L2Data), pj(t, Structure::LlcData));
+    // Tag way checks are cheap relative to data reads.
+    EXPECT_LT(pj(t, Structure::L1Tag), pj(t, Structure::L1Data));
+    EXPECT_LT(pj(t, Structure::LlcTag), pj(t, Structure::LlcData));
+    // MD1 is "on par with the TLB and address tags it replaces"
+    // (Section II-A).
+    EXPECT_NEAR(pj(t, Structure::Md1), pj(t, Structure::Tlb), 1.0);
+    // MD3 is on par with the directory it replaces (Appendix).
+    EXPECT_NEAR(pj(t, Structure::Md3), pj(t, Structure::Directory), 3.0);
+}
+
+TEST(EnergyTable, AssociativeSearchBeatsDirectAccess)
+{
+    // A 32-way LLC tag search plus data access (baseline) costs more
+    // than D2M's direct single-way data access.
+    const EnergyTable t = EnergyTable::default22nm();
+    const double baseline =
+        32 * pj(t, Structure::LlcTag) + pj(t, Structure::LlcData);
+    const double d2m = pj(t, Structure::LlcData);
+    EXPECT_GT(baseline, 1.5 * d2m);
+}
+
+TEST(EnergyAccount, CountsAccumulate)
+{
+    SimObject parent("sys");
+    EnergyAccount acc("energy", &parent);
+    acc.count(Structure::L1Data, 10);
+    acc.count(Structure::L1Data);
+    acc.count(Structure::Md1, 5);
+    EXPECT_EQ(acc.countOf(Structure::L1Data), 11u);
+    EXPECT_EQ(acc.countOf(Structure::Md1), 5u);
+    EXPECT_EQ(acc.countOf(Structure::LlcData), 0u);
+}
+
+TEST(EnergyAccount, DynamicEnergyArithmetic)
+{
+    SimObject parent("sys");
+    EnergyAccount acc("energy", &parent);
+    EnergyTable t;
+    t.accessPj[static_cast<size_t>(Structure::L1Data)] = 2.0;
+    t.accessPj[static_cast<size_t>(Structure::Md1)] = 3.0;
+    acc.count(Structure::L1Data, 4);
+    acc.count(Structure::Md1, 2);
+    EXPECT_DOUBLE_EQ(acc.dynamicSramPj(t), 4 * 2.0 + 2 * 3.0);
+}
+
+TEST(EnergyAccount, TotalIncludesNocAndLeakage)
+{
+    SimObject parent("sys");
+    EnergyAccount acc("energy", &parent);
+    EnergyTable t{};
+    t.nocPjPerByte = 0.5;
+    t.leakPjPerCyclePerKib = 0.01;
+    const double total =
+        acc.totalPj(t, /*noc_bytes=*/1000, /*sram_kib=*/100,
+                    /*cycles=*/2000);
+    EXPECT_DOUBLE_EQ(total, 1000 * 0.5 + 0.01 * 100 * 2000);
+}
+
+TEST(EnergyAccount, ResetClearsCounts)
+{
+    SimObject parent("sys");
+    EnergyAccount acc("energy", &parent);
+    acc.count(Structure::Md3, 9);
+    acc.resetStats();
+    EXPECT_EQ(acc.countOf(Structure::Md3), 0u);
+}
+
+TEST(EnergyModel, StructureNamesComplete)
+{
+    for (unsigned s = 0;
+         s < static_cast<unsigned>(Structure::NUM_STRUCTURES); ++s) {
+        EXPECT_STRNE(structureName(static_cast<Structure>(s)), "?");
+    }
+}
+
+} // namespace
+} // namespace d2m

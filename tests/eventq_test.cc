@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+namespace d2m
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, StableForEqualTicks)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&order, i](Tick) { order.push_back(i); });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilIsExclusiveOfLater)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](Tick) { ++fired; });
+    q.schedule(11, [&](Tick) { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.nextTick(), 11u);
+    q.runUntil(11);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbacksCanSchedule)
+{
+    EventQueue q;
+    std::vector<Tick> fires;
+    q.schedule(5, [&](Tick now) {
+        fires.push_back(now);
+        q.schedule(now + 5, [&](Tick n2) { fires.push_back(n2); });
+    });
+    q.runUntil(20);
+    EXPECT_EQ(fires, (std::vector<Tick>{5, 10}));
+}
+
+TEST(EventQueue, Periodic)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedulePeriodic(10, 10, [&](Tick) { ++count; });
+    q.runUntil(55);
+    EXPECT_EQ(count, 5);  // 10, 20, 30, 40, 50
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, NextTickEmptyIsMax)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTick(), maxTick);
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace d2m

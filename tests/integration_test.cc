@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end integration tests: run synthetic workloads through every
+ * system configuration with golden-memory value checking and periodic
+ * invariant checking. These are the strongest coherence-correctness
+ * tests in the suite: any protocol bug surfaces as a wrong load value
+ * or a violated invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace d2m
+{
+namespace
+{
+
+WorkloadParams
+smallSharedWorkload(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.instructionsPerCore = 20'000;
+    p.codeFootprint = 64 * 1024;
+    p.privateFootprint = 256 * 1024;
+    p.sharedFootprint = 128 * 1024;
+    p.sharedFraction = 0.3;
+    p.storeFraction = 0.4;
+    p.seed = seed;
+    return p;
+}
+
+class IntegrationTest : public ::testing::TestWithParam<ConfigKind>
+{
+};
+
+TEST_P(IntegrationTest, SharedWorkloadIsCoherent)
+{
+    NamedWorkload wl{"test", "shared", smallSharedWorkload(7)};
+    SweepOptions opts;
+    opts.verbose = false;
+    opts.runOptions.invariantCheckPeriod = 5'000;
+    const Metrics m = runOne(GetParam(), wl, opts);
+    EXPECT_EQ(m.valueErrors, 0u);
+    EXPECT_EQ(m.invariantErrors, 0u);
+    EXPECT_GT(m.instructions, 0u);
+    EXPECT_GT(m.cycles, 0u);
+}
+
+TEST_P(IntegrationTest, PrivateOnlyWorkloadIsCoherent)
+{
+    WorkloadParams p = smallSharedWorkload(11);
+    p.sharedFraction = 0;
+    p.sharedFootprint = 0;
+    p.disjointAsids = true;
+    NamedWorkload wl{"test", "private", p};
+    SweepOptions opts;
+    opts.verbose = false;
+    opts.runOptions.invariantCheckPeriod = 5'000;
+    const Metrics m = runOne(GetParam(), wl, opts);
+    EXPECT_EQ(m.valueErrors, 0u);
+    EXPECT_EQ(m.invariantErrors, 0u);
+}
+
+TEST_P(IntegrationTest, HighPressureWorkloadIsCoherent)
+{
+    // Large footprints force heavy eviction activity: MD2 spills, MD3
+    // evictions, LLC victim traffic — the hard protocol paths.
+    WorkloadParams p = smallSharedWorkload(13);
+    p.privateFootprint = 8 * 1024 * 1024;
+    p.sharedFootprint = 4 * 1024 * 1024;
+    p.streamFraction = 0.1;
+    NamedWorkload wl{"test", "pressure", p};
+    SweepOptions opts;
+    opts.verbose = false;
+    opts.runOptions.invariantCheckPeriod = 5'000;
+    const Metrics m = runOne(GetParam(), wl, opts);
+    EXPECT_EQ(m.valueErrors, 0u);
+    EXPECT_EQ(m.invariantErrors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, IntegrationTest,
+    ::testing::Values(ConfigKind::Base2L, ConfigKind::Base3L,
+                      ConfigKind::D2mFs, ConfigKind::D2mNs,
+                      ConfigKind::D2mNsR),
+    [](const ::testing::TestParamInfo<ConfigKind> &info) {
+        std::string name = configKindName(info.param);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace d2m

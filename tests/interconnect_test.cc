@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the interconnect model: the near-side zero-cost property,
+ * message/byte accounting and the basic vs D2M-only classification
+ * behind Figure 5's dark/light bars.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/interconnect.hh"
+
+namespace d2m
+{
+namespace
+{
+
+TEST(Interconnect, SameEndpointIsFree)
+{
+    SimObject parent("sys");
+    Interconnect noc("noc", &parent, 4, 64, 12);
+    // A node talking to its own NS slice never crosses the NoC:
+    // this asymmetry is the NS-LLC optimization.
+    EXPECT_EQ(noc.send(2, 2, MsgType::ReadReq), 0u);
+    EXPECT_EQ(noc.totalMessages.value(), 0u);
+    EXPECT_EQ(noc.totalBytes.value(), 0u);
+}
+
+TEST(Interconnect, CrossEndpointCostsOneHop)
+{
+    SimObject parent("sys");
+    Interconnect noc("noc", &parent, 4, 64, 12);
+    EXPECT_EQ(noc.send(0, farSideEndpoint(4), MsgType::ReadReq), 12u);
+    EXPECT_EQ(noc.totalMessages.value(), 1u);
+    EXPECT_EQ(noc.countOf(MsgType::ReadReq), 1u);
+}
+
+TEST(Interconnect, DataMessagesCarryTheLine)
+{
+    SimObject parent("sys");
+    Interconnect noc("noc", &parent, 4, 64, 12);
+    noc.send(0, 4, MsgType::ReadReq);    // control: 8 bytes
+    noc.send(4, 0, MsgType::DataResp);   // data: 8 + 64 bytes
+    EXPECT_EQ(noc.totalBytes.value(), 8u + 72u);
+    EXPECT_EQ(noc.dataBytes.value(), 64u);
+}
+
+TEST(Interconnect, D2mOnlyClassification)
+{
+    SimObject parent("sys");
+    Interconnect noc("noc", &parent, 4, 64, 12);
+    noc.send(0, 4, MsgType::ReadReq);
+    noc.send(0, 4, MsgType::ReadMM);
+    noc.send(0, 4, MsgType::MD2Spill);
+    noc.send(0, 4, MsgType::Inv);
+    EXPECT_EQ(noc.totalMessages.value(), 4u);
+    EXPECT_EQ(noc.d2mMessages.value(), 2u);
+}
+
+TEST(Interconnect, MulticastSkipsSourceAndClearBits)
+{
+    SimObject parent("sys");
+    Interconnect noc("noc", &parent, 4, 64, 12);
+    // PB mask 0b1011, source node 1: messages to 0 and 3 only.
+    const Cycles lat = noc.multicast(1, 0b1011, MsgType::Inv);
+    EXPECT_EQ(lat, 12u);
+    EXPECT_EQ(noc.countOf(MsgType::Inv), 2u);
+}
+
+TEST(Interconnect, MulticastToNobody)
+{
+    SimObject parent("sys");
+    Interconnect noc("noc", &parent, 4, 64, 12);
+    EXPECT_EQ(noc.multicast(0, 0b0001, MsgType::Inv), 0u);
+    EXPECT_EQ(noc.totalMessages.value(), 0u);
+}
+
+TEST(Interconnect, ResetClearsPerTypeCounts)
+{
+    SimObject parent("sys");
+    Interconnect noc("noc", &parent, 4, 64, 12);
+    noc.send(0, 4, MsgType::ReadReq);
+    noc.resetStats();
+    EXPECT_EQ(noc.totalMessages.value(), 0u);
+    EXPECT_EQ(noc.countOf(MsgType::ReadReq), 0u);
+}
+
+TEST(Message, EveryTypeHasAName)
+{
+    for (unsigned t = 0; t < static_cast<unsigned>(MsgType::NUM_TYPES);
+         ++t) {
+        EXPECT_STRNE(msgTypeName(static_cast<MsgType>(t)), "?");
+    }
+}
+
+TEST(Message, MetadataMessagesCarryLiVector)
+{
+    // MDReply carries 16 x 6-bit LIs plus flags: bigger than a control
+    // header, smaller than a data line.
+    EXPECT_GT(msgBytes(MsgType::MDReply, 64),
+              msgBytes(MsgType::ReadReq, 64));
+    EXPECT_LT(msgBytes(MsgType::MDReply, 64),
+              msgBytes(MsgType::DataResp, 64));
+}
+
+} // namespace
+} // namespace d2m

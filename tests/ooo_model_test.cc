@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the OoO timing approximation: latency sensitivity through
+ * the bounded window, front-end stalls on instruction misses (the
+ * paper: "the out-of-order processor cannot hide instruction misses"),
+ * MSHR merging (late hits), and MLP limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_model.hh"
+
+namespace d2m
+{
+namespace
+{
+
+CoreParams
+smallCore()
+{
+    CoreParams p;
+    p.issueWidth = 2;
+    p.robEntries = 32;
+    p.mshrs = 4;
+    return p;
+}
+
+TEST(OooModel, PureComputeIsIssueBound)
+{
+    OooModel m(smallCore());
+    m.issueInstructions(1000);
+    EXPECT_EQ(m.finishTime(), 500u);  // 1000 insts / width 2
+}
+
+TEST(OooModel, ShortLatencyIsHidden)
+{
+    OooModel m(smallCore());
+    // Loads of latency 4 every 16 instructions: fully hidden by the
+    // 32-instruction window.
+    for (int i = 0; i < 100; ++i) {
+        m.issueInstructions(16);
+        m.issueMemAccess(i, 4, false);
+    }
+    // Only the final in-flight load extends past the issue frontier.
+    EXPECT_LE(m.finishTime(), 100u * 8u + 4u);
+}
+
+TEST(OooModel, LongMissLatencyIsExposed)
+{
+    OooModel fast(smallCore()), slow(smallCore());
+    for (int i = 0; i < 100; ++i) {
+        fast.issueInstructions(16);
+        fast.issueMemAccess(i * 64, 40, true);
+        slow.issueInstructions(16);
+        slow.issueMemAccess(i * 64, 200, true);
+    }
+    EXPECT_LT(fast.finishTime(), slow.finishTime());
+}
+
+TEST(OooModel, WindowBoundsRunAhead)
+{
+    OooModel m(smallCore());
+    // One miss of 1000 cycles, then lots of independent compute: the
+    // core can only run 32 instructions ahead before stalling.
+    m.issueMemAccess(0, 1000, true);
+    m.issueInstructions(3200);
+    // Without the window this would take ~1600 cycles; with it, the
+    // stall forces at least the miss latency before most of it.
+    EXPECT_GE(m.finishTime(), 1000u + (3200u - 32u) / 2u);
+}
+
+TEST(OooModel, IFetchMissStallsFrontEnd)
+{
+    OooModel data(smallCore()), inst(smallCore());
+    for (int i = 0; i < 50; ++i) {
+        data.issueInstructions(16);
+        data.issueMemAccess(i * 64, 30, true, /*is_ifetch=*/false);
+        inst.issueInstructions(16);
+        inst.issueMemAccess(i * 64, 30, true, /*is_ifetch=*/true);
+    }
+    // The 30-cycle data miss is hidden by the window; the instruction
+    // miss is not hideable at all.
+    EXPECT_LT(data.finishTime(), inst.finishTime());
+    EXPECT_GE(inst.finishTime(), 50u * 30u);
+}
+
+TEST(OooModel, IFetchHitIsFree)
+{
+    OooModel m(smallCore());
+    for (int i = 0; i < 50; ++i) {
+        m.issueInstructions(16);
+        m.issueMemAccess(i * 64, 2, false, /*is_ifetch=*/true);
+    }
+    EXPECT_EQ(m.finishTime(), 50u * 8u);
+}
+
+TEST(OooModel, LateHitDetection)
+{
+    OooModel m(smallCore());
+    m.issueMemAccess(0x40, 100, true);
+    EXPECT_TRUE(m.wouldBeLateHit(0x40));
+    EXPECT_FALSE(m.wouldBeLateHit(0x80));
+    // After enough compute, the miss completes and the window clears.
+    m.issueInstructions(400);
+    EXPECT_FALSE(m.wouldBeLateHit(0x40));
+}
+
+TEST(OooModel, MergedMissDoesNotPayTwice)
+{
+    OooModel merged(smallCore()), separate(smallCore());
+    // Two misses to the same line back-to-back merge...
+    merged.issueMemAccess(0x40, 100, true);
+    merged.issueMemAccess(0x40, 100, true);
+    merged.issueInstructions(64);
+    // ...while two misses to different lines overlap but occupy the
+    // window independently.
+    separate.issueMemAccess(0x40, 100, true);
+    separate.issueMemAccess(0x80, 100, true);
+    separate.issueInstructions(64);
+    EXPECT_LE(merged.finishTime(), separate.finishTime());
+}
+
+TEST(OooModel, MshrsLimitMlp)
+{
+    CoreParams few = smallCore();
+    few.mshrs = 1;
+    CoreParams many = smallCore();
+    many.mshrs = 16;
+    OooModel serial(few), parallel(many);
+    for (int i = 0; i < 16; ++i) {
+        serial.issueMemAccess(i * 64, 100, true);
+        parallel.issueMemAccess(i * 64, 100, true);
+    }
+    serial.issueInstructions(100);
+    parallel.issueInstructions(100);
+    // With one MSHR the misses serialize (~16 x 100); with many they
+    // overlap inside the window.
+    EXPECT_GT(serial.finishTime(), parallel.finishTime() * 4);
+}
+
+TEST(OooModel, InstructionCounting)
+{
+    OooModel m(smallCore());
+    m.countInstructions(10);
+    m.countInstructions(5);
+    EXPECT_EQ(m.instructions(), 15u);
+}
+
+} // namespace
+} // namespace d2m

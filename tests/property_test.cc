@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Property-based sweeps: randomized workload parameters x all five
+ * system configurations, checking the library's two global properties
+ * on every combination:
+ *
+ *   1. Value correctness — every load returns the most recent store in
+ *      the global interleaving order (golden memory).
+ *   2. Structural invariants — deterministic LIs, single master, PB
+ *      soundness, inclusion (DESIGN.md Section 6).
+ *
+ * Each TEST_P instance draws a workload from its seed, so the suite
+ * covers a grid of sharing degrees, footprints and store intensities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "harness/runner.hh"
+
+namespace d2m
+{
+namespace
+{
+
+WorkloadParams
+randomWorkload(std::uint64_t seed)
+{
+    Rng rng(seed * 7919 + 13);
+    WorkloadParams p;
+    p.seed = seed;
+    p.instructionsPerCore = 8'000 + rng.below(12'000);
+    p.codeFootprint = 16 * 1024 << rng.below(5);        // 16K..256K
+    p.branchiness = 0.1 + rng.uniform() * 0.5;
+    p.avgRunLength = 4 + rng.below(12);
+    p.memOpsPerInst = 0.2 + rng.uniform() * 0.4;
+    p.storeFraction = rng.uniform() * 0.6;
+    p.stackFraction = rng.uniform() * 0.4;
+    p.sharedFraction = rng.uniform() * 0.5;
+    p.sharedStoreFraction = rng.uniform() * 0.6;
+    p.streamFraction = rng.uniform() * 0.8;
+    p.hotDataFraction = 0.3 + rng.uniform() * 0.6;
+    p.warmDataFraction = (1.0 - p.hotDataFraction) * rng.uniform();
+    p.privateFootprint = 64 * 1024 << rng.below(6);     // 64K..2M
+    p.sharedFootprint = 32 * 1024 << rng.below(6);
+    p.stridedPattern = rng.chance(0.2);
+    p.strideBytes = 4096 << rng.below(6);
+    p.disjointAsids = rng.chance(0.25);
+    return p;
+}
+
+struct Param
+{
+    std::uint64_t seed;
+    ConfigKind kind;
+};
+
+class PropertySweep : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(PropertySweep, CoherentAndInvariant)
+{
+    const Param param = GetParam();
+    NamedWorkload wl{"prop", "seed" + std::to_string(param.seed),
+                     randomWorkload(param.seed)};
+    SweepOptions opts;
+    opts.verbose = false;
+    opts.warmupInstsPerCore = 0;
+    opts.runOptions.invariantCheckPeriod = 4'000;
+    const Metrics m = runOne(param.kind, wl, opts);
+    EXPECT_EQ(m.valueErrors, 0u);
+    EXPECT_EQ(m.invariantErrors, 0u);
+    EXPECT_GT(m.instructions, 0u);
+}
+
+std::vector<Param>
+grid()
+{
+    std::vector<Param> out;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (ConfigKind kind : allConfigs())
+            out.push_back({seed, kind});
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGrid, PropertySweep, ::testing::ValuesIn(grid()),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string name = configKindName(info.param.kind);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return "seed" + std::to_string(info.param.seed) + "_" + name;
+    });
+
+/** Small-structure stress: shrunken MDs/LLC hammer the eviction and
+ * flush machinery under the same random workloads. */
+class TinyStructureSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TinyStructureSweep, EvictionStormsStayCoherent)
+{
+    NamedWorkload wl{"prop", "tiny", randomWorkload(GetParam())};
+    wl.params.instructionsPerCore = 6'000;
+    SweepOptions opts;
+    opts.verbose = false;
+    opts.warmupInstsPerCore = 0;
+    opts.baseParams.md1Entries = 16;
+    opts.baseParams.md2Entries = 32;
+    opts.baseParams.md3Entries = 64;
+    opts.baseParams.llc.sizeBytes = 128 * 1024;
+    opts.runOptions.invariantCheckPeriod = 2'000;
+    for (ConfigKind kind :
+         {ConfigKind::D2mFs, ConfigKind::D2mNs, ConfigKind::D2mNsR}) {
+        const Metrics m = runOne(kind, wl, opts);
+        EXPECT_EQ(m.valueErrors, 0u) << configKindName(kind);
+        EXPECT_EQ(m.invariantErrors, 0u) << configKindName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TinyStructureSweep,
+                         ::testing::Range<std::uint64_t>(100, 106));
+
+} // namespace
+} // namespace d2m

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace d2m::stats
+{
+namespace
+{
+
+TEST(Stats, CounterBasics)
+{
+    StatGroup root("root");
+    Counter c(&root, "hits", "number of hits");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageBasics)
+{
+    StatGroup root("root");
+    Average a(&root, "lat", "average latency");
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30, 2);  // weighted
+    EXPECT_DOUBLE_EQ(a.mean(), (10 + 20 + 60) / 4.0);
+    EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    StatGroup root("root");
+    Histogram h(&root, "dist", "latency distribution", 10, 4);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(1000);  // overflow bucket
+    EXPECT_EQ(h.totalSamples(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);  // overflow
+    EXPECT_NEAR(h.mean(), (0 + 9 + 10 + 39 + 1000) / 5.0, 1e-9);
+}
+
+TEST(Stats, GroupHierarchyPaths)
+{
+    StatGroup root("system");
+    StatGroup child("node0", &root);
+    StatGroup grand("l1d", &child);
+    EXPECT_EQ(grand.fullStatPath(), "system.node0.l1d");
+}
+
+TEST(Stats, PrintIncludesAllStats)
+{
+    StatGroup root("sys");
+    StatGroup child("noc", &root);
+    Counter a(&root, "accesses", "total accesses");
+    Counter b(&child, "messages", "noc messages");
+    ++a;
+    b += 3;
+    std::ostringstream oss;
+    root.printStats(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("sys.accesses 1"), std::string::npos);
+    EXPECT_NE(out.find("sys.noc.messages 3"), std::string::npos);
+}
+
+TEST(Stats, RecursiveReset)
+{
+    StatGroup root("sys");
+    StatGroup child("noc", &root);
+    Counter a(&root, "a", "");
+    Counter b(&child, "b", "");
+    a += 7;
+    b += 9;
+    root.resetStats();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+} // namespace
+} // namespace d2m::stats
