@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_pkmo.dir/bench_appendix_pkmo.cc.o"
+  "CMakeFiles/bench_appendix_pkmo.dir/bench_appendix_pkmo.cc.o.d"
+  "bench_appendix_pkmo"
+  "bench_appendix_pkmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_pkmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_indexing.dir/bench_dynamic_indexing.cc.o"
+  "CMakeFiles/bench_dynamic_indexing.dir/bench_dynamic_indexing.cc.o.d"
+  "bench_dynamic_indexing"
+  "bench_dynamic_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

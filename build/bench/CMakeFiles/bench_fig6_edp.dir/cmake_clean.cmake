@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_edp.dir/bench_fig6_edp.cc.o"
+  "CMakeFiles/bench_fig6_edp.dir/bench_fig6_edp.cc.o.d"
+  "bench_fig6_edp"
+  "bench_fig6_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_md_coverage.dir/bench_md_coverage.cc.o"
+  "CMakeFiles/bench_md_coverage.dir/bench_md_coverage.cc.o.d"
+  "bench_md_coverage"
+  "bench_md_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_md_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_md_scaling.dir/bench_md_scaling.cc.o"
+  "CMakeFiles/bench_md_scaling.dir/bench_md_scaling.cc.o.d"
+  "bench_md_scaling"
+  "bench_md_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_md_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ns_locality.dir/bench_ns_locality.cc.o"
+  "CMakeFiles/bench_ns_locality.dir/bench_ns_locality.cc.o.d"
+  "bench_ns_locality"
+  "bench_ns_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ns_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sram_pressure.dir/bench_sram_pressure.cc.o"
+  "CMakeFiles/bench_sram_pressure.dir/bench_sram_pressure.cc.o.d"
+  "bench_sram_pressure"
+  "bench_sram_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sram_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

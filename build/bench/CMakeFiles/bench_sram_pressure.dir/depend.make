@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sram_pressure.
+# This may be replaced when dependencies are built.

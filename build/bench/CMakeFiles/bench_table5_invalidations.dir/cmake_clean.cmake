@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_invalidations.dir/bench_table5_invalidations.cc.o"
+  "CMakeFiles/bench_table5_invalidations.dir/bench_table5_invalidations.cc.o.d"
+  "bench_table5_invalidations"
+  "bench_table5_invalidations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_invalidations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

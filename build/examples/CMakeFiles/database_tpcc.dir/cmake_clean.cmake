@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_tpcc.dir/database_tpcc.cpp.o"
+  "CMakeFiles/database_tpcc.dir/database_tpcc.cpp.o.d"
+  "database_tpcc"
+  "database_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/base_system.cc" "src/CMakeFiles/d2msim.dir/baseline/base_system.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/baseline/base_system.cc.o.d"
+  "/root/repo/src/baseline/classic_cache.cc" "src/CMakeFiles/d2msim.dir/baseline/classic_cache.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/baseline/classic_cache.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/d2msim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/params.cc" "src/CMakeFiles/d2msim.dir/common/params.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/common/params.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/d2msim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/common/stats.cc.o.d"
+  "/root/repo/src/cpu/multicore.cc" "src/CMakeFiles/d2msim.dir/cpu/multicore.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/cpu/multicore.cc.o.d"
+  "/root/repo/src/d2m/d2m_system.cc" "src/CMakeFiles/d2msim.dir/d2m/d2m_system.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/d2m/d2m_system.cc.o.d"
+  "/root/repo/src/d2m/invariants.cc" "src/CMakeFiles/d2msim.dir/d2m/invariants.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/d2m/invariants.cc.o.d"
+  "/root/repo/src/d2m/policies.cc" "src/CMakeFiles/d2msim.dir/d2m/policies.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/d2m/policies.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/d2msim.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/harness/configs.cc" "src/CMakeFiles/d2msim.dir/harness/configs.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/harness/configs.cc.o.d"
+  "/root/repo/src/harness/metrics.cc" "src/CMakeFiles/d2msim.dir/harness/metrics.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/harness/metrics.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/d2msim.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/d2msim.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/harness/runner.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/CMakeFiles/d2msim.dir/mem/replacement.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/mem/replacement.cc.o.d"
+  "/root/repo/src/noc/message.cc" "src/CMakeFiles/d2msim.dir/noc/message.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/noc/message.cc.o.d"
+  "/root/repo/src/workload/suites.cc" "src/CMakeFiles/d2msim.dir/workload/suites.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/workload/suites.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/d2msim.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/d2msim.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

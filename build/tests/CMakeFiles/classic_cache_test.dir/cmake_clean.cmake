@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_cache_test.dir/classic_cache_test.cc.o"
+  "CMakeFiles/classic_cache_test.dir/classic_cache_test.cc.o.d"
+  "classic_cache_test"
+  "classic_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

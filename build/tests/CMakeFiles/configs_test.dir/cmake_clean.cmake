@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configs_test.dir/configs_test.cc.o"
+  "CMakeFiles/configs_test.dir/configs_test.cc.o.d"
+  "configs_test"
+  "configs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

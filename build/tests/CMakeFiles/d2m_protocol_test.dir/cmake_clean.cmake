@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2m_protocol_test.dir/d2m_protocol_test.cc.o"
+  "CMakeFiles/d2m_protocol_test.dir/d2m_protocol_test.cc.o.d"
+  "d2m_protocol_test"
+  "d2m_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2m_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

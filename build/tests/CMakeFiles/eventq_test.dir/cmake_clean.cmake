@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventq_test.dir/eventq_test.cc.o"
+  "CMakeFiles/eventq_test.dir/eventq_test.cc.o.d"
+  "eventq_test"
+  "eventq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_info_test.dir/location_info_test.cc.o"
+  "CMakeFiles/location_info_test.dir/location_info_test.cc.o.d"
+  "location_info_test"
+  "location_info_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

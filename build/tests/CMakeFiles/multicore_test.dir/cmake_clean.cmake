@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_test.dir/multicore_test.cc.o"
+  "CMakeFiles/multicore_test.dir/multicore_test.cc.o.d"
+  "multicore_test"
+  "multicore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

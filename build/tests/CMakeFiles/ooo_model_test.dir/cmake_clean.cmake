@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooo_model_test.dir/ooo_model_test.cc.o"
+  "CMakeFiles/ooo_model_test.dir/ooo_model_test.cc.o.d"
+  "ooo_model_test"
+  "ooo_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooo_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_store_test.dir/region_store_test.cc.o"
+  "CMakeFiles/region_store_test.dir/region_store_test.cc.o.d"
+  "region_store_test"
+  "region_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

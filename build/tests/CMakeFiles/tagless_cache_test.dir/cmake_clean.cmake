@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagless_cache_test.dir/tagless_cache_test.cc.o"
+  "CMakeFiles/tagless_cache_test.dir/tagless_cache_test.cc.o.d"
+  "tagless_cache_test"
+  "tagless_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagless_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
