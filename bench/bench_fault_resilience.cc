@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fault-resilience sweep: injection rate x configuration.
+ *
+ * Not a paper figure -- this exercises the robustness subsystem
+ * (DESIGN.md §"Fault model"): seeded faults are injected into the
+ * metadata/data arrays and the interconnect at increasing per-million
+ * rates on both a classic baseline (Base-3L) and the split hierarchy
+ * (D2M-NS-R). With detection on, every campaign must end with zero
+ * value and invariant errors; the final row repeats the highest rate
+ * with the protection layer off, demonstrating the corruption that
+ * detection + recovery otherwise absorbs.
+ */
+
+#include "bench_common.hh"
+
+#include <tuple>
+
+namespace
+{
+
+using namespace d2m;
+using namespace d2m::bench;
+
+struct Row
+{
+    std::uint64_t injected = 0, detected = 0, recovered = 0;
+    std::uint64_t corrected = 0, refetched = 0, nocRetries = 0;
+    std::uint64_t valueErr = 0, invErr = 0;
+    double msgsPerKi = 0, detLatency = 0;
+    unsigned runs = 0;
+};
+
+SystemParams
+faultedParams(double rate_pm, bool detect)
+{
+    SystemParams p;
+    p.fault.enabled = true;
+    p.fault.metaFlipsPerMillion = rate_pm;
+    p.fault.dataFlipsPerMillion = rate_pm;
+    p.fault.dataLossPerMillion = rate_pm / 5;
+    p.fault.nocDropPerMillion = rate_pm;
+    p.fault.nocDelayPerMillion = rate_pm;
+    p.fault.parityDetection = detect;
+    return p;
+}
+
+Row
+sweepRate(ConfigKind kind, double rate_pm, bool detect,
+          const std::vector<NamedWorkload> &workloads)
+{
+    SweepOptions opts = benchOptions();
+    opts.baseParams = faultedParams(rate_pm, detect);
+    opts.runOptions.invariantCheckPeriod = 50'000;
+
+    Row row;
+    double det_lat_sum = 0;
+    unsigned det_lat_n = 0;
+    for (const auto &wl : workloads) {
+        const Metrics m = runOne(kind, wl, opts);
+        row.injected += m.faultsInjected;
+        row.detected += m.faultsDetected;
+        row.recovered += m.faultsRecovered;
+        row.corrected += m.faultsCorrected;
+        row.refetched += m.linesRefetched;
+        row.nocRetries += m.nocRetries;
+        row.valueErr += m.valueErrors;
+        row.invErr += m.invariantErrors;
+        row.msgsPerKi += m.msgsPerKiloInst;
+        if (m.avgDetectionLatency > 0) {
+            det_lat_sum += m.avgDetectionLatency;
+            ++det_lat_n;
+        }
+        ++row.runs;
+    }
+    row.msgsPerKi /= row.runs ? row.runs : 1;
+    row.detLatency = det_lat_n ? det_lat_sum / det_lat_n : 0;
+    return row;
+}
+
+void
+addRow(TextTable &table, const char *config, const std::string &rate,
+       const Row &r)
+{
+    table.addRow({config, rate, std::to_string(r.injected),
+                  std::to_string(r.detected), std::to_string(r.recovered),
+                  std::to_string(r.corrected), std::to_string(r.refetched),
+                  std::to_string(r.nocRetries), fmt(r.msgsPerKi, 2),
+                  fmt(r.detLatency, 0), std::to_string(r.valueErr),
+                  std::to_string(r.invErr)});
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fault resilience: injection rate x configuration",
+           "robustness extension (not a paper figure); fault model per "
+           "DESIGN.md");
+
+    const auto workloads = representativeWorkloads();
+    const std::vector<std::pair<ConfigKind, const char *>> configs{
+        {ConfigKind::Base3L, "Base-3L"},
+        {ConfigKind::D2mNsR, "D2M-NS-R"},
+    };
+    const double rates[] = {0, 10, 50, 100};
+
+    TextTable table({"config", "faults/M", "injected", "detected",
+                     "recovered", "ECC corr", "refetched", "noc retry",
+                     "msgs/KI", "det lat", "value err", "inv err"});
+
+    for (const auto &[kind, name] : configs) {
+        for (const double rate : rates) {
+            const Row r = sweepRate(kind, rate, /*detect=*/true,
+                                    workloads);
+            addRow(table, name, fmt(rate, 0), r);
+        }
+        table.addSeparator();
+    }
+    // Negative control: highest rate, protection layer off. Only data
+    // flips are injected (metadata faults are not survivable without
+    // parity -- see FaultParams), and they flow to consumers as wrong
+    // values instead of being corrected.
+    for (const auto &[kind, name] : configs) {
+        const Row r = sweepRate(kind, 100, /*detect=*/false, workloads);
+        addRow(table, name, "100 (no ECC)", r);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Expect: zero value/invariant errors in every protected "
+                "row, non-zero detected+recovered at non-zero rates, and "
+                "value errors in the unprotected rows.\n");
+    return 0;
+}

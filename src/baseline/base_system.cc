@@ -1,6 +1,7 @@
 #include "baseline/base_system.hh"
 
 #include "common/logging.hh"
+#include "fault/base_fault_model.hh"
 
 namespace d2m
 {
@@ -31,7 +32,14 @@ BaselineSystem::BaselineSystem(std::string name, const SystemParams &params)
     }
     llc_ = std::make_unique<ClassicCache>(
         "llc", this, params.l1Lines(params.llc), params.llc.assoc, lshift);
+
+    if (faults_) {
+        faultModel_ = std::make_unique<BaseFaultModel>(*this);
+        faults_->bindHost(faultModel_.get());
+    }
 }
+
+BaselineSystem::~BaselineSystem() = default;
 
 ClassicCache &
 BaselineSystem::l1For(NodeId node, AccessType type)
@@ -331,6 +339,8 @@ BaselineSystem::installPrivate(NodeId node, AccessType type, Addr line_addr,
 AccessResult
 BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
 {
+    if (faults_) [[unlikely]]
+        faults_->onAccess();
     ++stats_.accesses;
     switch (acc.type) {
       case AccessType::IFETCH: ++stats_.ifetches; break;

@@ -41,7 +41,7 @@ ClassicCache::probe(Addr line_addr)
     for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
         ClassicLine &line = lines_[set * geom_.assoc() + w];
         if (line.valid() && line.lineAddr == line_addr)
-            return &line;
+            return eccChecked(&line);
     }
     return nullptr;
 }
@@ -49,7 +49,15 @@ ClassicCache::probe(Addr line_addr)
 const ClassicLine *
 ClassicCache::probe(Addr line_addr) const
 {
-    return const_cast<ClassicCache *>(this)->probe(line_addr);
+    // Raw tag scan: const observers (checkers) must not trigger the
+    // ECC scrub a mutable probe models.
+    const std::uint32_t set = geom_.setIndex(line_addr << geom_.unitShift());
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+        const ClassicLine &line = lines_[set * geom_.assoc() + w];
+        if (line.valid() && line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
 }
 
 ClassicLine &
@@ -65,7 +73,18 @@ ClassicCache::victimFor(Addr line_addr)
     for (size_t i = 0; i < ways.size(); ++i)
         states[i] = &ways[i]->repl;
     const std::uint32_t victim = repl_->victim(states, nullptr);
-    return *ways[victim];
+    return *eccChecked(ways[victim]);
+}
+
+void
+ClassicCache::scrubAll()
+{
+    if (!faults_)
+        return;
+    for (auto &line : lines_) {
+        if (line.faultMask)
+            faults_->scrubLine(line);
+    }
 }
 
 void

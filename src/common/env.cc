@@ -1,0 +1,34 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace d2m
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return def;
+    fatal_if(*text == '\0', "%s is set but empty", name);
+    // strtoull accepts a leading '-' and wraps the value; reject it.
+    const char *p = text;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    fatal_if(*p == '-', "%s=\"%s\": negative values not allowed", name,
+             text);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    fatal_if(errno == ERANGE, "%s=\"%s\": value out of range", name, text);
+    fatal_if(end == text || *end != '\0',
+             "%s=\"%s\": not an unsigned integer", name, text);
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace d2m

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Strict environment-variable parsing.
+ *
+ * Every D2M_* knob that accepts a number goes through envU64() so a
+ * typo ("D2M_WARMUP=10k") fails loudly instead of silently truncating
+ * to a surprising value (strtoull's lenient default behavior).
+ */
+
+#ifndef D2M_COMMON_ENV_HH
+#define D2M_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace d2m
+{
+
+/**
+ * Read an unsigned integer from environment variable @p name.
+ *
+ * @return @p def when the variable is unset; otherwise the parsed
+ * value. An empty string, trailing garbage, a leading minus sign or an
+ * out-of-range value is a fatal() configuration error.
+ */
+std::uint64_t envU64(const char *name, std::uint64_t def);
+
+} // namespace d2m
+
+#endif // D2M_COMMON_ENV_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/d2m_fault_model.hh"
 
 namespace d2m
 {
@@ -99,7 +100,14 @@ D2mSystem::D2mSystem(std::string name, const SystemParams &params)
         replication_ = std::make_unique<NoReplicationPolicy>();
 
     nextPressureEpoch_ = params.nsPressurePeriod;
+
+    if (faults_) {
+        faultModel_ = std::make_unique<D2mFaultModel>(*this);
+        faults_->bindHost(faultModel_.get());
+    }
 }
+
+D2mSystem::~D2mSystem() = default;
 
 const char *
 D2mSystem::configName() const
@@ -1264,6 +1272,8 @@ AccessResult
 D2mSystem::access(NodeId node, const MemAccess &acc, Tick now)
 {
     pressureEpoch(now);
+    if (faults_) [[unlikely]]
+        faults_->onAccess();
 
     ++stats_.accesses;
     switch (acc.type) {

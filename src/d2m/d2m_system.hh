@@ -47,11 +47,14 @@
 namespace d2m
 {
 
+class D2mFaultModel;
+
 /** The D2M split-hierarchy system (FS / NS / NS-R by params). */
 class D2mSystem : public MemorySystem
 {
   public:
     D2mSystem(std::string name, const SystemParams &params);
+    ~D2mSystem() override;
 
     AccessResult access(NodeId node, const MemAccess &acc,
                         Tick now) override;
@@ -69,7 +72,14 @@ class D2mSystem : public MemorySystem
     /** Classification of @p pregion per Table II (test support). */
     RegionClass regionClass(std::uint64_t pregion) const;
 
+    /** The fault model, or nullptr when fault injection is disabled. */
+    D2mFaultModel *faultModel() { return faultModel_.get(); }
+    const D2mFaultModel *faultModel() const { return faultModel_.get(); }
+
   private:
+    // The fault model reaches into the hierarchy to corrupt, scan and
+    // rebuild it; it is an extension of the system, not a client.
+    friend class D2mFaultModel;
     // ---- structural -------------------------------------------------
     struct NodeCtx
     {
@@ -124,6 +134,10 @@ class D2mSystem : public MemorySystem
         return side_i ? *nodes_[node].l1i : *nodes_[node].l1d;
     }
     RegionStore<Md1Entry> &md1For(NodeId node, bool side_i)
+    {
+        return side_i ? *nodes_[node].md1i : *nodes_[node].md1d;
+    }
+    const RegionStore<Md1Entry> &md1For(NodeId node, bool side_i) const
     {
         return side_i ? *nodes_[node].md1i : *nodes_[node].md1d;
     }
@@ -287,6 +301,8 @@ class D2mSystem : public MemorySystem
     IndexScrambler scrambler_;
 
     Tick nextPressureEpoch_ = 0;
+
+    std::unique_ptr<D2mFaultModel> faultModel_;
 
     HierarchyStats stats_;
     D2mEvents events_;

@@ -13,6 +13,12 @@
  *     node's PB bit set.
  *  6. Inclusion: MD1 subset of MD2; MD2 regions and LLC lines present
  *     in MD3.
+ *
+ * The checker reads state through const (raw) accessors only: it must
+ * observe corruption, not trigger the modeled parity/ECC machinery.
+ * All violations are collected (up to a reporting cap), not just the
+ * first, so one check of a badly corrupted state names every broken
+ * invariant at once.
  */
 
 #include <map>
@@ -29,19 +35,20 @@ bool
 D2mSystem::checkInvariants(std::string &why) const
 {
     std::ostringstream oss;
-    auto *self = const_cast<D2mSystem *>(this);
-    bool ok = true;
+    unsigned violations = 0;
+    constexpr unsigned max_reported = 16;
     auto fail = [&](const std::string &msg) {
-        if (ok) {
+        if (violations < max_reported) {
+            if (violations)
+                oss << "; ";
             oss << msg;
-            ok = false;
         }
+        ++violations;
     };
 
     // --- master uniqueness over all data arrays ----------------------
     std::map<Addr, unsigned> masters;
-    std::map<Addr, unsigned> copies;
-    for (NodeId n = 0; n < params_.numNodes && ok; ++n) {
+    for (NodeId n = 0; n < params_.numNodes; ++n) {
         for (const TaglessCache *cache :
              {nodes_[n].l1i.get(), nodes_[n].l1d.get(),
               nodes_[n].l2.get()}) {
@@ -49,7 +56,6 @@ D2mSystem::checkInvariants(std::string &why) const
                 continue;
             cache->forEachValid([&](std::uint32_t, std::uint32_t,
                                     const TaglessLine &line) {
-                ++copies[line.lineAddr];
                 if (line.master)
                     ++masters[line.lineAddr];
             });
@@ -58,7 +64,6 @@ D2mSystem::checkInvariants(std::string &why) const
     for (const auto &slice : llc_) {
         slice->forEachValid([&](std::uint32_t, std::uint32_t,
                                 const TaglessLine &line) {
-            ++copies[line.lineAddr];
             if (line.master)
                 ++masters[line.lineAddr];
         });
@@ -70,9 +75,12 @@ D2mSystem::checkInvariants(std::string &why) const
         }
     }
 
+    // Every slot an LI chain resolves to; compared against the full
+    // slot population afterwards (tracking completeness).
+    std::set<const TaglessLine *> reached;
+
     // --- per-node metadata checks -------------------------------------
-    std::set<Addr> reachable;
-    for (NodeId n = 0; n < params_.numNodes && ok; ++n) {
+    for (NodeId n = 0; n < params_.numNodes; ++n) {
         const NodeCtx &ctx = nodes_[n];
 
         // MD1 subset of MD2, and tracking pointers consistent.
@@ -98,23 +106,22 @@ D2mSystem::checkInvariants(std::string &why) const
                      ": MD2 entry without MD3 PB bit");
                 return;
             }
-            if (e2.privateBit && popCountU64(e3->pb) != 1) {
-                fail("private region with multiple PB bits");
-                return;
-            }
-            // Resolve each LI of the active entry.
-            const LiVector &lis =
+            // Resolve LIs and the private bit from the active entry
+            // (the MD1 twin when the tracking pointer names one).
+            const Md1Entry *e1 =
                 e2.activeInMd1
-                    ? self->md1For(n, e2.md1SideI)
-                          .at(e2.md1Set, e2.md1Way)
-                          .li
-                    : e2.li;
+                    ? &md1For(n, e2.md1SideI).at(e2.md1Set, e2.md1Way)
+                    : nullptr;
+            const bool priv = e1 ? e1->privateBit : e2.privateBit;
+            if (priv && popCountU64(e3->pb) != 1)
+                fail("private region with multiple PB bits");
+            const LiVector &lis = e1 ? e1->li : e2.li;
             for (unsigned i = 0; i < params_.regionLines; ++i) {
                 const Addr la = (e2.key << regionLinesLog_) | i;
                 LocationInfo li = lis[i];
                 if (li.isInvalid()) {
                     fail("invalid LI in node metadata");
-                    return;
+                    continue;
                 }
                 // Walk the local chain checking determinism.
                 unsigned guard = 0;
@@ -128,7 +135,7 @@ D2mSystem::checkInvariants(std::string &why) const
                     } else if (li.kind == LiKind::L2) {
                         if (!ctx.l2) {
                             fail("L2 LI without an L2 cache");
-                            return;
+                            break;
                         }
                         slot = &ctx.l2->at(ctx.l2->setFor(la, e2.scramble),
                                            li.way);
@@ -143,15 +150,15 @@ D2mSystem::checkInvariants(std::string &why) const
                         fail("deterministic LI violated: node " +
                              std::to_string(n) + " line " +
                              std::to_string(la));
-                        return;
+                        break;
                     }
-                    reachable.insert(la);
+                    reached.insert(slot);
                     if (slot->master)
                         break;
                     li = slot->rp;
                     if (li.isInvalid()) {
                         fail("replica RP invalid");
-                        return;
+                        break;
                     }
                 }
             }
@@ -163,7 +170,7 @@ D2mSystem::checkInvariants(std::string &why) const
                 fail("PB bit set for node without MD2 entry");
         });
 
-        // Tracking completeness for private caches.
+        // Region-level tracking for private caches.
         for (const TaglessCache *cache :
              {ctx.l1i.get(), ctx.l1d.get(), ctx.l2.get()}) {
             if (!cache)
@@ -205,12 +212,46 @@ D2mSystem::checkInvariants(std::string &why) const
                 arr.at(arr.setFor(la, e3.scramble), li.way);
             if (!slot.valid || slot.lineAddr != la || !slot.master)
                 fail("MD3 LI does not resolve to an LLC master");
+            else
+                reached.insert(&slot);
         }
     });
 
-    if (!ok)
+    // --- tracking completeness ----------------------------------------
+    // Every valid slot in the whole hierarchy must have been resolved
+    // by some LI chain above: a slot no metadata reaches is leaked
+    // capacity that can never be found, hit or evicted coherently.
+    const auto checkReached = [&](const TaglessCache &cache,
+                                  const std::string &where) {
+        cache.forEachValid([&](std::uint32_t, std::uint32_t,
+                               const TaglessLine &line) {
+            if (!reached.count(&line)) {
+                fail("slot in " + where + " holding line 0x" +
+                     std::to_string(line.lineAddr) +
+                     " unreachable from any metadata LI");
+            }
+        });
+    };
+    for (NodeId n = 0; n < params_.numNodes; ++n) {
+        const NodeCtx &ctx = nodes_[n];
+        const std::string node = "node " + std::to_string(n);
+        checkReached(*ctx.l1i, node + " L1I");
+        checkReached(*ctx.l1d, node + " L1D");
+        if (ctx.l2)
+            checkReached(*ctx.l2, node + " L2");
+    }
+    for (std::uint32_t s = 0; s < llc_.size(); ++s) {
+        checkReached(*llc_[s],
+                     "LLC slice " + std::to_string(s));
+    }
+
+    if (violations > max_reported) {
+        oss << "; ... (" << violations << " violations total, first "
+            << max_reported << " shown)";
+    }
+    if (violations)
         why = oss.str();
-    return ok;
+    return violations == 0;
 }
 
 } // namespace d2m

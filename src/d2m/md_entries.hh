@@ -38,6 +38,11 @@ struct Md1Entry
     std::uint32_t scramble = 0; //!< Dynamic-indexing value (IV-D).
     LiVector li{};
     ReplState repl;
+
+    // Fault-model state: entry parity mismatch flag plus the injection
+    // timestamp (accesses) used to measure detection latency.
+    bool parityFault = false;
+    std::uint64_t faultAccess = 0;
 };
 
 /** Second-level metadata entry (physically tagged). */
@@ -64,6 +69,9 @@ struct Md2Entry
     std::uint32_t md1Way = 0;
 
     ReplState repl;
+
+    bool parityFault = false;   //!< Fault model: parity mismatch.
+    std::uint64_t faultAccess = 0;
 };
 
 /** Shared third-level metadata entry (with presence bits). */
@@ -80,6 +88,9 @@ struct Md3Entry
      */
     LiVector li{};
     ReplState repl;
+
+    bool parityFault = false;   //!< Fault model: parity mismatch.
+    std::uint64_t faultAccess = 0;
 };
 
 /** Region classification derived from the PB bits (paper Table II). */

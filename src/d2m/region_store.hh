@@ -25,7 +25,15 @@ namespace d2m
 
 /** Set-associative array of region entries of type @p Entry.
  *
- * @p Entry must provide: bool valid, std::uint64_t key, ReplState repl.
+ * @p Entry must provide: bool valid, std::uint64_t key, ReplState repl,
+ * and the fault-model fields bool parityFault / uint64_t faultAccess.
+ *
+ * Every read path that hands out a mutable entry (find / probe / at /
+ * victimFor) models the per-entry parity check of the fault model: if
+ * the entry is marked corrupted, the installed parity handler runs
+ * (recovering the entry in place) before the caller ever consumes its
+ * contents. Const accessors are raw — the invariant checker and other
+ * observers must see corruption, not heal it.
  */
 template <typename Entry>
 class RegionStore : public SimObject
@@ -72,6 +80,13 @@ class RegionStore : public SimObject
     Entry *
     probe(std::uint64_t key)
     {
+        return parityChecked(probeRaw(key));
+    }
+
+    /** probe() without the parity check (recovery-internal reads). */
+    Entry *
+    probeRaw(std::uint64_t key)
+    {
         const std::uint32_t set = setOf(key);
         for (std::uint32_t w = 0; w < assoc_; ++w) {
             Entry &e = entries_[set * assoc_ + w];
@@ -84,7 +99,7 @@ class RegionStore : public SimObject
     const Entry *
     probe(std::uint64_t key) const
     {
-        return const_cast<RegionStore *>(this)->probe(key);
+        return const_cast<RegionStore *>(this)->probeRaw(key);
     }
 
     /**
@@ -109,7 +124,11 @@ class RegionStore : public SimObject
             return cost_of ? cost_of(entries_[set * assoc_ + w]) : 0.0;
         };
         const std::uint32_t w = repl_->victim(states, cost);
-        return entries_[set * assoc_ + w];
+        Entry &victim = entries_[set * assoc_ + w];
+        // A corrupted victim must be recovered before its LIs are
+        // consumed by the eviction path.
+        parityChecked(&victim);
+        return victim;
     }
 
     /** Stamp @p e as freshly installed. */
@@ -119,7 +138,32 @@ class RegionStore : public SimObject
     Entry &
     at(std::uint32_t set, std::uint32_t way)
     {
+        return *parityChecked(&entries_[set * assoc_ + way]);
+    }
+
+    const Entry &
+    at(std::uint32_t set, std::uint32_t way) const
+    {
         return entries_[set * assoc_ + way];
+    }
+
+    /** at() without the parity check (recovery-internal writes). */
+    Entry &
+    atRaw(std::uint32_t set, std::uint32_t way)
+    {
+        return entries_[set * assoc_ + way];
+    }
+
+    /**
+     * Install the fault-model parity handler: invoked with any marked
+     * entry about to be handed to a mutating reader. The flag is
+     * cleared *before* the handler runs, so recovery may re-read the
+     * entry through the normal accessors without recursing.
+     */
+    void
+    setParityHandler(std::function<void(Entry &)> handler)
+    {
+        parityHandler_ = std::move(handler);
     }
 
     /** (set, way) of @p e within this store. */
@@ -154,11 +198,28 @@ class RegionStore : public SimObject
     std::uint32_t assoc() const { return assoc_; }
 
   private:
+    /** Model the per-entry parity check on a mutable read. */
+    Entry *
+    parityChecked(Entry *e)
+    {
+        if (e && e->parityFault && parityHandler_) [[unlikely]] {
+            // Clear the flag first so recovery can re-read the entry
+            // without recursing; the handler consumes faultAccess.
+            e->parityFault = false;
+            if (e->valid) {
+                parityHandler_(*e);
+            }
+            e->faultAccess = 0;
+        }
+        return e;
+    }
+
     std::uint32_t sets_ = 0;
     std::uint32_t assoc_ = 0;
     std::vector<Entry> entries_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
+    std::function<void(Entry &)> parityHandler_;
 };
 
 } // namespace d2m

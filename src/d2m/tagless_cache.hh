@@ -21,6 +21,7 @@
 
 #include "common/types.hh"
 #include "d2m/location_info.hh"
+#include "fault/fault_injector.hh"
 #include "mem/geometry.hh"
 #include "mem/replacement.hh"
 #include "sim/sim_object.hh"
@@ -51,6 +52,11 @@ struct TaglessLine
     NodeId ownerNode = invalidNode;
     ReplState repl;
 
+    // Fault-model state: XOR mask of injected (ECC-correctable) bit
+    // flips currently corrupting `value`, and the injection timestamp.
+    std::uint64_t faultMask = 0;
+    std::uint64_t faultAccess = 0;
+
     void
     invalidate()
     {
@@ -61,6 +67,8 @@ struct TaglessLine
         exclusive = false;
         rp = LocationInfo::mem();
         ownerNode = invalidNode;
+        faultMask = 0;
+        faultAccess = 0;
     }
 };
 
@@ -90,11 +98,16 @@ class TaglessCache : public SimObject
                               scrambled_ ? scramble : 0);
     }
 
-    /** Direct slot access (the whole point of D2M: no search). */
+    /** Direct slot access (the whole point of D2M: no search). Models
+     * the per-slot ECC check: any stored fault mask is corrected here,
+     * before the caller can consume the value. */
     TaglessLine &
     at(std::uint32_t set, std::uint32_t way)
     {
-        return lines_[set * geom_.assoc() + way];
+        TaglessLine &line = lines_[set * geom_.assoc() + way];
+        if (line.faultMask) [[unlikely]]
+            eccScrub(line);
+        return line;
     }
 
     const TaglessLine &
@@ -102,6 +115,16 @@ class TaglessCache : public SimObject
     {
         return lines_[set * geom_.assoc() + way];
     }
+
+    /** Slot access without the ECC check (fault-injection itself). */
+    TaglessLine &
+    rawAt(std::uint32_t set, std::uint32_t way)
+    {
+        return lines_[set * geom_.assoc() + way];
+    }
+
+    /** Bind the fault injector that models this array's ECC. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     /** Record a use for replacement. */
     void
@@ -161,11 +184,19 @@ class TaglessCache : public SimObject
     }
 
   private:
+    void
+    eccScrub(TaglessLine &line)
+    {
+        if (faults_)
+            faults_->scrubLine(line);
+    }
+
     SetAssocGeometry geom_;
     std::vector<TaglessLine> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
     bool scrambled_ = false;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace d2m

@@ -1,0 +1,105 @@
+#include "fault/base_fault_model.hh"
+
+#include "baseline/base_system.hh"
+#include "common/logging.hh"
+
+namespace d2m
+{
+
+BaseFaultModel::BaseFaultModel(BaselineSystem &sys) : sys_(sys)
+{
+    FaultInjector *fi = sys_.faults_.get();
+    panic_if(!fi, "fault model constructed without an injector");
+    for (auto &node : sys_.nodes_) {
+        for (ClassicCache *c : {node.l1i.get(), node.l1d.get(),
+                                node.l2.get()}) {
+            if (!c)
+                continue;
+            c->setFaultInjector(fi);
+            arrays_.push_back({c, /*isPrivate=*/true});
+        }
+    }
+    sys_.llc_->setFaultInjector(fi);
+    arrays_.push_back({sys_.llc_.get(), /*isPrivate=*/false});
+}
+
+FaultInjector &
+BaseFaultModel::injector()
+{
+    return *sys_.faults_;
+}
+
+bool
+BaseFaultModel::injectMetaFault(Rng &rng, std::uint64_t access_no)
+{
+    // Tag and directory arrays carry the same inline ECC as the data
+    // arrays, and the corrupted word is re-read (and so corrected) on
+    // the very next set search. Model the event as a correctable data
+    // flip: same detection mechanism, same correction cost.
+    return injectDataFault(rng, access_no, /*loss=*/false);
+}
+
+bool
+BaseFaultModel::injectDataFault(Rng &rng, std::uint64_t access_no,
+                                bool loss)
+{
+    for (unsigned attempt = 0; attempt < 8; ++attempt) {
+        const DataArray &arr =
+            arrays_[rng.below(static_cast<std::uint64_t>(arrays_.size()))];
+        ClassicLine &line = arr.cache->rawLineAt(static_cast<std::uint32_t>(
+            rng.below(arr.cache->numLines())));
+        if (!line.valid())
+            continue;
+        if (!loss) {
+            const std::uint64_t mask = std::uint64_t(1) << rng.below(64);
+            line.value ^= mask;
+            line.faultMask ^= mask;
+            if (line.faultMask && !line.faultAccess)
+                line.faultAccess = access_no;
+            else if (!line.faultMask)
+                line.faultAccess = 0;  // two flips cancelled out
+            return true;
+        }
+        // Uncorrectable loss: only an S-state line in a private level
+        // can be dropped without further bookkeeping -- it is clean by
+        // construction and the full-map directory tolerates stale
+        // sharer bits (the next invalidation round simply finds
+        // nothing). E/M copies and inclusive-LLC slots would need the
+        // machine-check path, outside this model's scope.
+        if (!arr.isPrivate || line.state != Mesi::S)
+            continue;
+        line.invalidate();
+        return true;
+    }
+    return false;
+}
+
+void
+BaseFaultModel::faultSweep()
+{
+    for (const DataArray &arr : arrays_)
+        arr.cache->scrubAll();
+}
+
+bool
+BaseFaultModel::corruptDataBits(Addr line_addr, std::uint64_t mask,
+                                bool track_ecc)
+{
+    for (const DataArray &arr : arrays_) {
+        for (std::uint32_t i = 0; i < arr.cache->numLines(); ++i) {
+            ClassicLine &line = arr.cache->rawLineAt(i);
+            if (!line.valid() || line.lineAddr != line_addr)
+                continue;
+            line.value ^= mask;
+            if (track_ecc) {
+                line.faultMask ^= mask;
+                if (line.faultMask && !line.faultAccess)
+                    line.faultAccess = injector().accessNo();
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace d2m

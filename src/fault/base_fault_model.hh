@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The baseline (tag-based) fault surface.
+ *
+ * Classic caches carry inline ECC on every array -- tags, directory
+ * state and data alike -- so there is no separate metadata recovery
+ * engine: a flipped tag or sharer bit is corrected on the next array
+ * read, indistinguishable in cost and outcome from a correctable data
+ * flip, and is modeled as one. Uncorrectable (multi-bit) loss is only
+ * modeled where dropping the copy is architecturally safe: S-state
+ * lines in the private levels, which are clean by construction and
+ * whose directory sharer bits are allowed to go stale.
+ */
+
+#ifndef D2M_FAULT_BASE_FAULT_MODEL_HH
+#define D2M_FAULT_BASE_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "fault/fault_injector.hh"
+
+namespace d2m
+{
+
+class BaselineSystem;
+class ClassicCache;
+
+/** FaultHost implementation for the classic (Base-2L/3L) hierarchy. */
+class BaseFaultModel : public FaultHost
+{
+  public:
+    /** Binds the system's cache arrays to its fault injector. */
+    explicit BaseFaultModel(BaselineSystem &sys);
+
+    // ---- FaultHost ---------------------------------------------------
+    bool injectMetaFault(Rng &rng, std::uint64_t access_no) override;
+    bool injectDataFault(Rng &rng, std::uint64_t access_no,
+                         bool loss) override;
+    void faultSweep() override;
+
+    // ---- directed corruption (test support) --------------------------
+    /** XOR @p mask into the first valid copy of @p line_addr found.
+     * With @p track_ecc the flip is ECC-correctable; without it the
+     * corruption flows to consumers (golden-memory checking sees it). */
+    bool corruptDataBits(Addr line_addr, std::uint64_t mask,
+                         bool track_ecc);
+
+  private:
+    /** One injectable cache array. */
+    struct DataArray
+    {
+        ClassicCache *cache;
+        bool isPrivate;  //!< L1/L2 (loss-eligible), not the LLC.
+    };
+
+    FaultInjector &injector();
+
+    BaselineSystem &sys_;
+    std::vector<DataArray> arrays_;
+};
+
+} // namespace d2m
+
+#endif // D2M_FAULT_BASE_FAULT_MODEL_HH

@@ -1,0 +1,650 @@
+#include "fault/d2m_fault_model.hh"
+
+#include "common/logging.hh"
+#include "d2m/d2m_system.hh"
+
+namespace d2m
+{
+
+D2mFaultModel::D2mFaultModel(D2mSystem &sys) : sys_(sys)
+{
+    FaultInjector *fi = sys_.faults_.get();
+    panic_if(!fi, "fault model constructed without an injector");
+    for (NodeId n = 0; n < sys_.params_.numNodes; ++n) {
+        auto &ctx = sys_.nodes_[n];
+        ctx.l1i->setFaultInjector(fi);
+        ctx.l1d->setFaultInjector(fi);
+        arrays_.push_back({ctx.l1i.get(), DataArray::Kind::L1I, n, 0});
+        arrays_.push_back({ctx.l1d.get(), DataArray::Kind::L1D, n, 0});
+        if (ctx.l2) {
+            ctx.l2->setFaultInjector(fi);
+            arrays_.push_back({ctx.l2.get(), DataArray::Kind::L2, n, 0});
+        }
+    }
+    for (std::uint32_t s = 0; s < sys_.llc_.size(); ++s) {
+        sys_.llc_[s]->setFaultInjector(fi);
+        arrays_.push_back({sys_.llc_[s].get(), DataArray::Kind::Llc,
+                           invalidNode, s});
+    }
+    if (fi->detectionEnabled())
+        installHandlers();
+}
+
+FaultInjector &
+D2mFaultModel::injector()
+{
+    return *sys_.faults_;
+}
+
+void
+D2mFaultModel::installHandlers()
+{
+    for (NodeId n = 0; n < sys_.params_.numNodes; ++n) {
+        auto &ctx = sys_.nodes_[n];
+        ctx.md1i->setParityHandler([this, n](Md1Entry &e) {
+            injector().noteMetaDetected(e.faultAccess);
+            recoverNodeRegion(n, e.pregion);
+        });
+        ctx.md1d->setParityHandler([this, n](Md1Entry &e) {
+            injector().noteMetaDetected(e.faultAccess);
+            recoverNodeRegion(n, e.pregion);
+        });
+        ctx.md2->setParityHandler([this, n](Md2Entry &e) {
+            injector().noteMetaDetected(e.faultAccess);
+            recoverNodeRegion(n, e.key);
+        });
+    }
+    sys_.md3_->setParityHandler([this](Md3Entry &e) {
+        injector().noteMetaDetected(e.faultAccess);
+        recoverMd3Entry(e.key);
+    });
+}
+
+template <typename Entry>
+void
+D2mFaultModel::consumeMark(Entry &e)
+{
+    if (e.parityFault) {
+        e.parityFault = false;
+        injector().noteMetaDetected(e.faultAccess);
+    }
+    e.faultAccess = 0;
+}
+
+void
+D2mFaultModel::flipLi(LocationInfo &li, Rng &rng)
+{
+    std::uint8_t code = sys_.codec_.encode(li);
+    code = static_cast<std::uint8_t>(
+        (code ^ (1u << rng.below(LiCodec::bitsPerLi()))) & 0x3f);
+    li = sys_.codec_.decode(code);
+}
+
+int
+D2mFaultModel::findWay(TaglessCache &c, std::uint32_t set, Addr line_addr,
+                       bool require_master)
+{
+    for (std::uint32_t w = 0; w < c.assoc(); ++w) {
+        TaglessLine &s = c.rawAt(set, w);
+        if (s.valid && s.lineAddr == line_addr &&
+            (!require_master || s.master)) {
+            return static_cast<int>(w);
+        }
+    }
+    return -1;
+}
+
+// ===================================================================
+// Injection
+// ===================================================================
+
+bool
+D2mFaultModel::injectMetaFault(Rng &rng, std::uint64_t access_no)
+{
+    const unsigned lines = sys_.params_.regionLines;
+    const unsigned num_nodes = sys_.params_.numNodes;
+    // One MD1-I / MD1-D / MD2 triplet per node, plus the shared MD3.
+    const unsigned num_stores = 3 * num_nodes + 1;
+
+    auto mark = [access_no](auto &e) {
+        if (!e.parityFault) {
+            e.parityFault = true;
+            e.faultAccess = access_no;
+        }
+    };
+    // Corrupt a payload field of an MD1/MD2 entry: mostly an LI
+    // pointer (the bulk of the entry's bits), occasionally the private
+    // bit or the scramble value.
+    auto corruptPayload = [&](auto &e) {
+        const unsigned roll = rng.below(8);
+        if (roll < 6)
+            flipLi(e.li[rng.below(lines)], rng);
+        else if (roll == 6)
+            e.privateBit = !e.privateBit;
+        else
+            e.scramble ^= 1u << rng.below(8);
+    };
+
+    for (unsigned attempt = 0; attempt < 8; ++attempt) {
+        const unsigned pick = rng.below(num_stores);
+        if (pick == num_stores - 1) {
+            RegionStore<Md3Entry> &md3 = *sys_.md3_;
+            Md3Entry &e = md3.atRaw(rng.below(md3.numSets()),
+                                    rng.below(md3.assoc()));
+            if (!e.valid)
+                continue;
+            if (rng.below(4) < 3)
+                flipLi(e.li[rng.below(lines)], rng);
+            else
+                e.pb ^= std::uint64_t(1) << rng.below(num_nodes);
+            mark(e);
+            return true;
+        }
+        const NodeId n = pick / 3;
+        auto &ctx = sys_.nodes_[n];
+        if (pick % 3 == 2) {
+            Md2Entry &e = ctx.md2->atRaw(rng.below(ctx.md2->numSets()),
+                                         rng.below(ctx.md2->assoc()));
+            if (!e.valid)
+                continue;
+            corruptPayload(e);
+            mark(e);
+            return true;
+        }
+        RegionStore<Md1Entry> &md1 =
+            (pick % 3) ? *ctx.md1d : *ctx.md1i;
+        Md1Entry &e =
+            md1.atRaw(rng.below(md1.numSets()), rng.below(md1.assoc()));
+        if (!e.valid)
+            continue;
+        corruptPayload(e);
+        mark(e);
+        return true;
+    }
+    return false;
+}
+
+bool
+D2mFaultModel::injectDataFault(Rng &rng, std::uint64_t access_no,
+                               bool loss)
+{
+    for (unsigned attempt = 0; attempt < 8; ++attempt) {
+        const DataArray &arr =
+            arrays_[rng.below(static_cast<std::uint64_t>(arrays_.size()))];
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            rng.below(arr.cache->numSets()));
+        const std::uint32_t way =
+            static_cast<std::uint32_t>(rng.below(arr.cache->assoc()));
+        TaglessLine &slot = arr.cache->rawAt(set, way);
+        if (!slot.valid)
+            continue;
+        if (!loss) {
+            const std::uint64_t mask = std::uint64_t(1) << rng.below(64);
+            slot.value ^= mask;
+            slot.faultMask ^= mask;
+            if (slot.faultMask && !slot.faultAccess)
+                slot.faultAccess = access_no;
+            else if (!slot.faultMask)
+                slot.faultAccess = 0;  // two flips cancelled out
+            return true;
+        }
+        // Uncorrectable (multi-bit) loss: modeled only on clean slots,
+        // where discarding the copy is architecturally safe (memory or
+        // the master still holds current data). A dirty slot would be
+        // silently lost -- a SECDED design machine-checks there, which
+        // is outside this model's scope.
+        if (slot.dirty)
+            continue;
+        if (loseSlot(arr, set, way))
+            return true;
+    }
+    return false;
+}
+
+bool
+D2mFaultModel::loseSlot(const DataArray &arr, std::uint32_t set,
+                        std::uint32_t way)
+{
+    TaglessLine &slot = arr.cache->rawAt(set, way);
+    if (arr.kind == DataArray::Kind::Llc) {
+        const bool was_master = slot.master;
+        // The LLC eviction path already repairs every pointer into the
+        // slot (owner chains for replicas, case-F NewMaster for
+        // masters) -- exactly the bookkeeping a lost slot needs.
+        sys_.evictLlcSlot(arr.slice, set, way);
+        if (was_master)
+            ++injector().stats().linesRefetched;
+        return true;
+    }
+    const Addr la = slot.lineAddr;
+    const std::uint64_t pregion = sys_.regionOf(la);
+    const unsigned idx = sys_.lineIdxOf(la);
+    if (slot.master) {
+        // Reuse the eviction machinery; without an LLC victim slot the
+        // master falls back to memory and refetches on the next use.
+        sys_.masterEvicted(arr.node, slot, /*allow_llc=*/false);
+        slot.invalidate();
+        ++injector().stats().linesRefetched;
+        return true;
+    }
+    // Replica in L1/L2: it heads the node's local chain, so unlink it
+    // by repointing the LI at the rest of the chain.
+    D2mSystem::ActiveMd amd =
+        sys_.activeMdFor(arr.node, pregion, /*charge=*/false);
+    if (!amd.tracked())
+        return false;
+    const bool is_l1 = arr.kind == DataArray::Kind::L1I ||
+                       arr.kind == DataArray::Kind::L1D;
+    if (is_l1 && arr.cache != &sys_.l1For(arr.node, amd.sideI()))
+        return false;  // stale side: not the tracked copy
+    const LocationInfo li = amd.li()[idx];
+    if (li.kind != (is_l1 ? LiKind::L1 : LiKind::L2) || li.way != way ||
+        arr.cache->setFor(la, amd.scramble()) != set) {
+        return false;  // not the chain head we expected; leave it
+    }
+    amd.li()[idx] = slot.rp;
+    slot.invalidate();
+    return true;
+}
+
+// ===================================================================
+// Detection sweep
+// ===================================================================
+
+void
+D2mFaultModel::faultSweep()
+{
+    // Metadata: collect the marked regions first -- recovery rewrites
+    // entries in the very stores being walked.
+    for (NodeId n = 0; n < sys_.params_.numNodes; ++n) {
+        auto &ctx = sys_.nodes_[n];
+        std::vector<std::uint64_t> regions;
+        auto collect1 = [&](Md1Entry &e) {
+            if (e.parityFault) {
+                consumeMark(e);
+                regions.push_back(e.pregion);
+            }
+        };
+        ctx.md1i->forEach(collect1);
+        ctx.md1d->forEach(collect1);
+        ctx.md2->forEach([&](Md2Entry &e) {
+            if (e.parityFault) {
+                consumeMark(e);
+                regions.push_back(e.key);
+            }
+        });
+        for (std::uint64_t r : regions)
+            recoverNodeRegion(n, r);
+    }
+    std::vector<std::uint64_t> md3_regions;
+    sys_.md3_->forEach([&](Md3Entry &e) {
+        if (e.parityFault) {
+            consumeMark(e);
+            md3_regions.push_back(e.key);
+        }
+    });
+    for (std::uint64_t r : md3_regions)
+        recoverMd3Entry(r);
+
+    // Data arrays: correct any pending single-bit faults.
+    for (const DataArray &arr : arrays_) {
+        for (std::uint32_t s = 0; s < arr.cache->numSets(); ++s) {
+            for (std::uint32_t w = 0; w < arr.cache->assoc(); ++w) {
+                TaglessLine &slot = arr.cache->rawAt(s, w);
+                if (slot.valid && slot.faultMask)
+                    injector().scrubLine(slot);
+            }
+        }
+    }
+}
+
+// ===================================================================
+// Recovery
+// ===================================================================
+
+Cycles
+D2mFaultModel::chargeScrubRoundTrip(NodeId node)
+{
+    injector().stats().recoveryMessages += 2;
+    Cycles lat = sys_.noc_.send(node, sys_.farSide(), MsgType::ScrubReq);
+    lat += sys_.noc_.send(sys_.farSide(), node, MsgType::ScrubResp);
+    return lat;
+}
+
+LocationInfo
+D2mFaultModel::scanGlobalMaster(Addr line_addr, std::uint32_t scramble,
+                                std::uint64_t pb, NodeId exclude)
+{
+    for (std::uint32_t s = 0; s < sys_.llc_.size(); ++s) {
+        TaglessCache &c = *sys_.llc_[s];
+        const int w = findWay(c, c.setFor(line_addr, scramble), line_addr,
+                              /*require_master=*/true);
+        if (w >= 0)
+            return LocationInfo::inLlc(s, static_cast<std::uint32_t>(w));
+    }
+    for (NodeId p = 0; p < sys_.params_.numNodes; ++p) {
+        if (p == exclude || !((pb >> p) & 1))
+            continue;
+        auto &ctx = sys_.nodes_[p];
+        TaglessCache *cands[3] = {ctx.l1i.get(), ctx.l1d.get(),
+                                  ctx.l2.get()};
+        for (TaglessCache *c : cands) {
+            if (c && findWay(*c, c->setFor(line_addr, scramble),
+                             line_addr, true) >= 0) {
+                return LocationInfo::inNode(p);
+            }
+        }
+    }
+    return LocationInfo::mem();
+}
+
+void
+D2mFaultModel::recoverNodeRegion(NodeId node, std::uint64_t pregion)
+{
+    auto &ctx = sys_.nodes_[node];
+    Md2Entry *e2 = ctx.md2->probeRaw(pregion);
+    if (!e2)
+        return;  // the region died between marking and recovery
+
+    // Heal the MD3 entry first (through the checked accessor): its
+    // presence bits and scramble are the ground truth below.
+    Md3Entry *e3 = sys_.md3_->probe(pregion);
+    if (!e3)
+        return;  // double fault beyond the model's scope
+
+    ++injector().stats().recoveredRegions;
+    Cycles lat = chargeScrubRoundTrip(node);
+    lat += sys_.params_.lat.md2 + sys_.params_.lat.md3;
+    sys_.energy_.count(Structure::Md2);
+    sys_.energy_.count(Structure::Md3);
+
+    const std::uint32_t scramble = e3->scramble;
+    const std::uint64_t pb = e3->pb;
+    const bool priv = popCountU64(pb) == 1 && ((pb >> node) & 1);
+
+    // The MD1 twin, if the tracking pointer names one.
+    Md1Entry *e1 = nullptr;
+    if (e2->activeInMd1) {
+        Md1Entry &m = sys_.md1For(node, e2->md1SideI)
+                          .atRaw(e2->md1Set, e2->md1Way);
+        if (m.valid && m.pregion == pregion)
+            e1 = &m;
+    }
+    // One recovery event heals both copies of the pair.
+    consumeMark(*e2);
+    if (e1)
+        consumeMark(*e1);
+
+    TaglessCache &l1 = sys_.l1For(node, e2->md1SideI);
+    TaglessCache *l2 = ctx.l2.get();
+    TaglessCache *own = sys_.nearSide_ ? sys_.llc_[node].get() : nullptr;
+
+    // Rebuild the LI vector by walking the data arrays: the inverse of
+    // the invariant checker's reachability pass. Tag-less lines carry
+    // a tracking pointer (modeled by lineAddr), so the region's lines
+    // are found by direct set lookup, not an address search.
+    LiVector li{};
+    const unsigned lines = sys_.params_.regionLines;
+    for (unsigned idx = 0; idx < lines; ++idx) {
+        const Addr la = (pregion << sys_.regionLinesLog_) | idx;
+        lat += sys_.params_.lat.l1Hit;  // per-line scan step
+
+        const int w1 = findWay(l1, l1.setFor(la, scramble), la);
+        const int w2 =
+            l2 ? findWay(*l2, l2->setFor(la, scramble), la) : -1;
+        int wr = -1;
+        if (own) {
+            const std::uint32_t set = own->setFor(la, scramble);
+            for (std::uint32_t w = 0; w < own->assoc(); ++w) {
+                TaglessLine &s = own->rawAt(set, w);
+                if (s.valid && s.lineAddr == la && !s.master &&
+                    s.ownerNode == node) {
+                    wr = static_cast<int>(w);
+                    break;
+                }
+            }
+        }
+
+        if (w1 >= 0 && w2 >= 0) {
+            // Two chain heads cannot both be right: keep the L1 head
+            // and drop the L2 copy to memory (clean copies discard
+            // safely; a dirty master is written back first).
+            TaglessLine &bad = l2->rawAt(l2->setFor(la, scramble),
+                                         static_cast<std::uint32_t>(w2));
+            if (bad.master && bad.dirty) {
+                sys_.memory_.write(la, bad.value);
+                sys_.noc_.send(node, sys_.farSide(),
+                               MsgType::WritebackData);
+            }
+            bad.invalidate();
+            ++injector().stats().linesRefetched;
+        }
+        if (w1 >= 0) {
+            li[idx] = LocationInfo::inL1(static_cast<std::uint32_t>(w1));
+        } else if (w2 >= 0) {
+            li[idx] = LocationInfo::inL2(static_cast<std::uint32_t>(w2));
+        } else if (wr >= 0) {
+            li[idx] =
+                LocationInfo::inLlc(node, static_cast<std::uint32_t>(wr));
+        } else {
+            li[idx] = scanGlobalMaster(la, scramble, pb, node);
+        }
+    }
+
+    e2->scramble = scramble;
+    e2->privateBit = priv;
+    e2->li = li;
+    if (e1) {
+        e1->scramble = scramble;
+        e1->privateBit = priv;
+        e1->li = li;
+    }
+    if (priv) {
+        // Restore the eager-private shape: MD3's LIs are not
+        // authoritative for private regions, so no half-trusted lazy
+        // state may survive the rebuild.
+        for (unsigned idx = 0; idx < lines; ++idx)
+            e3->li[idx] = LocationInfo::invalid();
+    }
+    injector().stats().recoveryCycles += lat;
+}
+
+void
+D2mFaultModel::recoverMd3Entry(std::uint64_t pregion)
+{
+    Md3Entry *e3 = sys_.md3_->probeRaw(pregion);
+    if (!e3)
+        return;
+    consumeMark(*e3);
+
+    ++injector().stats().recoveredMd3;
+    Cycles lat = sys_.params_.lat.md3;
+    sys_.energy_.count(Structure::Md3);
+
+    // Presence bits from the nodes' (side-band-protected) MD2 tags.
+    std::uint64_t pb = 0;
+    for (NodeId n = 0; n < sys_.params_.numNodes; ++n) {
+        lat += chargeScrubRoundTrip(n) + sys_.params_.lat.md2;
+        if (sys_.nodes_[n].md2->probeRaw(pregion))
+            pb |= std::uint64_t(1) << n;
+    }
+    e3->pb = pb;
+
+    // Global LIs from master scans alone: exact for shared and
+    // untracked regions, and a benign live superset for private
+    // regions (whose consumers either ignore or refresh MD3 LIs).
+    const unsigned lines = sys_.params_.regionLines;
+    for (unsigned idx = 0; idx < lines; ++idx) {
+        const Addr la = (pregion << sys_.regionLinesLog_) | idx;
+        e3->li[idx] = scanGlobalMaster(la, e3->scramble, pb, invalidNode);
+    }
+    injector().stats().recoveryCycles += lat;
+}
+
+// ===================================================================
+// Directed corruption (test support)
+// ===================================================================
+
+namespace
+{
+
+template <typename Entry>
+void
+markEntry(Entry &e, std::uint64_t access_no)
+{
+    e.parityFault = true;
+    e.faultAccess = access_no;
+}
+
+} // namespace
+
+bool
+D2mFaultModel::corruptNodeLi(NodeId node, std::uint64_t pregion,
+                             unsigned idx, LocationInfo li, bool mark)
+{
+    D2mSystem::ActiveMd amd =
+        sys_.activeMdFor(node, pregion, /*charge=*/false);
+    if (!amd.tracked())
+        return false;
+    amd.li()[idx] = li;
+    if (mark) {
+        if (amd.md1)
+            markEntry(*amd.md1, injector().accessNo());
+        else
+            markEntry(*amd.md2, injector().accessNo());
+    }
+    return true;
+}
+
+bool
+D2mFaultModel::corruptPrivateBit(NodeId node, std::uint64_t pregion,
+                                 bool value, bool mark)
+{
+    D2mSystem::ActiveMd amd =
+        sys_.activeMdFor(node, pregion, /*charge=*/false);
+    if (!amd.tracked())
+        return false;
+    if (amd.md1) {
+        amd.md1->privateBit = value;
+        if (mark)
+            markEntry(*amd.md1, injector().accessNo());
+    } else {
+        amd.md2->privateBit = value;
+        if (mark)
+            markEntry(*amd.md2, injector().accessNo());
+    }
+    return true;
+}
+
+bool
+D2mFaultModel::corruptScramble(NodeId node, std::uint64_t pregion,
+                               std::uint32_t xor_mask, bool mark)
+{
+    D2mSystem::ActiveMd amd =
+        sys_.activeMdFor(node, pregion, /*charge=*/false);
+    if (!amd.tracked())
+        return false;
+    if (amd.md1) {
+        amd.md1->scramble ^= xor_mask;
+        if (mark)
+            markEntry(*amd.md1, injector().accessNo());
+    } else {
+        amd.md2->scramble ^= xor_mask;
+        if (mark)
+            markEntry(*amd.md2, injector().accessNo());
+    }
+    return true;
+}
+
+bool
+D2mFaultModel::corruptMd3Pb(std::uint64_t pregion, std::uint64_t xor_mask,
+                            bool mark)
+{
+    Md3Entry *e3 = sys_.md3_->probeRaw(pregion);
+    if (!e3)
+        return false;
+    e3->pb ^= xor_mask;
+    if (mark)
+        markEntry(*e3, injector().accessNo());
+    return true;
+}
+
+bool
+D2mFaultModel::corruptMd3Li(std::uint64_t pregion, unsigned idx,
+                            LocationInfo li, bool mark)
+{
+    Md3Entry *e3 = sys_.md3_->probeRaw(pregion);
+    if (!e3)
+        return false;
+    e3->li[idx] = li;
+    if (mark)
+        markEntry(*e3, injector().accessNo());
+    return true;
+}
+
+bool
+D2mFaultModel::corruptDataBits(Addr line_addr, std::uint64_t mask,
+                               bool track_ecc)
+{
+    std::uint32_t scramble = 0;
+    if (Md3Entry *e3 = sys_.md3_->probeRaw(sys_.regionOf(line_addr)))
+        scramble = e3->scramble;
+    for (const DataArray &arr : arrays_) {
+        const std::uint32_t set = arr.cache->setFor(line_addr, scramble);
+        const int w = findWay(*arr.cache, set, line_addr);
+        if (w < 0)
+            continue;
+        TaglessLine &slot =
+            arr.cache->rawAt(set, static_cast<std::uint32_t>(w));
+        slot.value ^= mask;
+        if (track_ecc) {
+            slot.faultMask ^= mask;
+            if (slot.faultMask && !slot.faultAccess)
+                slot.faultAccess = injector().accessNo();
+        }
+        return true;
+    }
+    return false;
+}
+
+unsigned
+D2mFaultModel::setMasterEverywhere(Addr line_addr)
+{
+    std::uint32_t scramble = 0;
+    if (Md3Entry *e3 = sys_.md3_->probeRaw(sys_.regionOf(line_addr)))
+        scramble = e3->scramble;
+    unsigned count = 0;
+    for (const DataArray &arr : arrays_) {
+        const std::uint32_t set = arr.cache->setFor(line_addr, scramble);
+        for (std::uint32_t w = 0; w < arr.cache->assoc(); ++w) {
+            TaglessLine &slot = arr.cache->rawAt(set, w);
+            if (slot.valid && slot.lineAddr == line_addr) {
+                slot.master = true;
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+bool
+D2mFaultModel::dropMd2Entry(NodeId node, std::uint64_t pregion)
+{
+    Md2Entry *e2 = sys_.nodes_[node].md2->probeRaw(pregion);
+    if (!e2)
+        return false;
+    e2->valid = false;
+    return true;
+}
+
+bool
+D2mFaultModel::dropMd3Entry(std::uint64_t pregion)
+{
+    Md3Entry *e3 = sys_.md3_->probeRaw(pregion);
+    if (!e3)
+        return false;
+    e3->valid = false;
+    return true;
+}
+
+} // namespace d2m

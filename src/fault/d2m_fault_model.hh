@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The D2M-specific fault surface: injection targets, parity-detection
+ * handlers, and the recovery engine.
+ *
+ * Injection corrupts the *payload* of metadata entries (LI pointers,
+ * private bits, scramble values, MD3 presence bits) and data slots
+ * (bit flips, or whole-slot loss). Tags, valid bits, tracking pointers
+ * and replacement state are treated as side-band state under stronger
+ * protection (as real arrays protect their tag/valid rails), which
+ * keeps every fault recoverable without a machine check.
+ *
+ * Detection is modeled at the stores themselves (see RegionStore and
+ * TaglessCache): every mutable read of a marked entry runs the parity
+ * handler installed here *before* the caller can consume the corrupted
+ * contents, so a bad LI pointer is never traversed.
+ *
+ * Recovery inverts the invariant checker's reachability pass: the LI
+ * vector of a (node, region) pair is rebuilt by scanning the node's
+ * data arrays for the region's lines (tag-less lines carry a tracking
+ * pointer, modeled by TaglessLine::lineAddr), falling back to a clean
+ * memory refetch when the scan is ambiguous. MD3 entries rebuild their
+ * presence bits from the nodes' MD2 tags and their global LIs from
+ * master scans of the LLC slices and tracking nodes' arrays.
+ */
+
+#ifndef D2M_FAULT_D2M_FAULT_MODEL_HH
+#define D2M_FAULT_D2M_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "d2m/location_info.hh"
+#include "fault/fault_injector.hh"
+
+namespace d2m
+{
+
+class D2mSystem;
+class TaglessCache;
+struct TaglessLine;
+
+/** FaultHost implementation for the split (D2M) hierarchy. */
+class D2mFaultModel : public FaultHost
+{
+  public:
+    /** Binds the system's arrays to its fault injector and installs
+     * the parity handlers (when detection is modeled). */
+    explicit D2mFaultModel(D2mSystem &sys);
+
+    // ---- FaultHost ---------------------------------------------------
+    bool injectMetaFault(Rng &rng, std::uint64_t access_no) override;
+    bool injectDataFault(Rng &rng, std::uint64_t access_no,
+                         bool loss) override;
+    void faultSweep() override;
+
+    // ---- recovery engine ---------------------------------------------
+    /**
+     * Rebuild the (node, region) metadata pair (MD2 and any active MD1
+     * twin) in place: scramble and classification are restored from
+     * MD3, the LI vector by walking the node's data arrays. Lines the
+     * walk cannot place unambiguously are dropped to memory (clean
+     * copies discarded, dirty masters written back) and refetch on the
+     * next access.
+     */
+    void recoverNodeRegion(NodeId node, std::uint64_t pregion);
+
+    /** Rebuild an MD3 entry: presence bits from the nodes' MD2 tags,
+     * global LIs from master scans of all data arrays. */
+    void recoverMd3Entry(std::uint64_t pregion);
+
+    // ---- directed corruption (test support) --------------------------
+    // Each returns false when the target entry does not exist. With
+    // @p mark the entry is flagged for parity detection; without it
+    // the corruption is silent (models a detection-less design).
+    bool corruptNodeLi(NodeId node, std::uint64_t pregion, unsigned idx,
+                       LocationInfo li, bool mark);
+    bool corruptPrivateBit(NodeId node, std::uint64_t pregion, bool value,
+                           bool mark);
+    bool corruptScramble(NodeId node, std::uint64_t pregion,
+                         std::uint32_t xor_mask, bool mark);
+    bool corruptMd3Pb(std::uint64_t pregion, std::uint64_t xor_mask,
+                      bool mark);
+    bool corruptMd3Li(std::uint64_t pregion, unsigned idx, LocationInfo li,
+                      bool mark);
+    /** XOR @p mask into the first valid copy of @p line_addr found.
+     * With @p track_ecc the flip is ECC-correctable; without it the
+     * corruption flows to consumers (golden-memory checking sees it). */
+    bool corruptDataBits(Addr line_addr, std::uint64_t mask,
+                         bool track_ecc);
+    /** Force the master flag on every copy of @p line_addr (negative
+     * testing of the single-master invariant). @return copies found. */
+    unsigned setMasterEverywhere(Addr line_addr);
+    /** Drop a metadata entry outright (inclusion-violation tests). */
+    bool dropMd2Entry(NodeId node, std::uint64_t pregion);
+    bool dropMd3Entry(std::uint64_t pregion);
+
+  private:
+    /** One injectable data array and its place in the hierarchy. */
+    struct DataArray
+    {
+        enum class Kind : std::uint8_t { L1I, L1D, L2, Llc };
+        TaglessCache *cache;
+        Kind kind;
+        NodeId node;          //!< Owning node (invalidNode for LLC).
+        std::uint32_t slice;  //!< LLC slice index (Llc only).
+    };
+
+    FaultInjector &injector();
+    void installHandlers();
+
+    /** Consume a pending parity mark: count the detection, clear it. */
+    template <typename Entry>
+    void consumeMark(Entry &e);
+
+    /** Corrupt one metadata payload field of @p li-vector owner. */
+    void flipLi(LocationInfo &li, Rng &rng);
+
+    /** Find the way holding @p line_addr in @p set, or -1. */
+    int findWay(TaglessCache &c, std::uint32_t set, Addr line_addr,
+                bool require_master = false);
+
+    /** Scan LLC slices and @p pb nodes' arrays for the line's master. */
+    LocationInfo scanGlobalMaster(Addr line_addr, std::uint32_t scramble,
+                                  std::uint64_t pb, NodeId exclude);
+
+    /** Handle an uncorrectable loss of one clean data slot.
+     * @return true if the slot could be dropped consistently. */
+    bool loseSlot(const DataArray &arr, std::uint32_t set,
+                  std::uint32_t way);
+
+    /** Charge one ScrubReq/ScrubResp round trip between @p node and
+     * the far side to the recovery accounts. */
+    Cycles chargeScrubRoundTrip(NodeId node);
+
+    D2mSystem &sys_;
+    std::vector<DataArray> arrays_;
+};
+
+} // namespace d2m
+
+#endif // D2M_FAULT_D2M_FAULT_MODEL_HH

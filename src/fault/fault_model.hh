@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fault-model configuration (DESIGN.md §"Fault model").
+ *
+ * The simulator can inject transient faults into the structures whose
+ * integrity D2M's correctness rests on: the metadata arrays (MD1, MD2,
+ * MD3 — LI vectors, presence bits, private bits, scramble values), the
+ * tag-less data arrays, and the interconnect. Injection is driven by
+ * the deterministic Rng, so a (seed, rates) pair reproduces the exact
+ * same fault sequence.
+ *
+ * Protection model (what detection/recovery assumes of the hardware):
+ *  - Metadata entries carry per-entry parity: any corruption is
+ *    detected on the next read of the entry (or by the periodic
+ *    background scrub sweep), never silently consumed.
+ *  - Data slots carry SECDED ECC: single-bit flips are corrected on
+ *    the next read. "Loss" faults (uncorrectable errors) are only
+ *    injected into clean slots, where the master/memory copy is still
+ *    current and a refetch fully recovers.
+ *  - NoC links detect dropped messages by timeout and retransmit with
+ *    exponential backoff; each retry is re-counted as traffic.
+ *
+ * With `enabled == false` (the default) no fault object is even
+ * constructed: the hooks compile to a null-pointer test and the
+ * simulation is bit-identical to a build without the fault layer.
+ */
+
+#ifndef D2M_FAULT_FAULT_MODEL_HH
+#define D2M_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace d2m
+{
+
+/** Classes of injected faults. */
+enum class FaultKind : std::uint8_t
+{
+    MetaFlip,  //!< Bit flip in an MD1/MD2/MD3 entry (LI/PB/priv/scramble).
+    DataFlip,  //!< Single-bit flip in a data slot (ECC-correctable).
+    DataLoss,  //!< Uncorrectable error in a clean data slot.
+    NocDrop,   //!< Message dropped on the interconnect.
+    NocDelay,  //!< Message delayed on the interconnect.
+};
+
+/** Fault-injection configuration, part of SystemParams. */
+struct FaultParams
+{
+    /** Master switch. False => no injector is constructed at all. */
+    bool enabled = false;
+
+    // Injection rates. Structure faults are rolled once per memory
+    // access; NoC faults once per message.
+    double metaFlipsPerMillion = 0;  //!< MD entry flips / M accesses.
+    double dataFlipsPerMillion = 0;  //!< Data-slot bit flips / M accesses.
+    double dataLossPerMillion = 0;   //!< Clean-slot losses / M accesses.
+    double nocDropPerMillion = 0;    //!< Dropped messages / M messages.
+    double nocDelayPerMillion = 0;   //!< Delayed messages / M messages.
+
+    /**
+     * Model parity/ECC protection and run detection + recovery. When
+     * false, injected data corruption flows to consumers undetected
+     * (observable as golden-memory valueErrors); metadata and loss
+     * faults are not injected at all, since a tag-less hierarchy has
+     * no way to even limp along on corrupted location pointers — see
+     * DESIGN.md §"Fault model".
+     */
+    bool parityDetection = true;
+
+    /**
+     * Background scrub period in accesses (0 = scrub only on demand).
+     * Bounds the detection latency of faults in cold entries.
+     */
+    std::uint64_t sweepPeriod = 4096;
+
+    /** Injection RNG seed (independent of the workload seed). */
+    std::uint64_t seed = 0xFA017;
+
+    // NoC retransmission: timeout doubles per retry, capped attempts.
+    Cycles nocRetryTimeout = 48;
+    unsigned nocMaxRetries = 6;
+
+    /** Extra NoC hops a delay fault adds (uniform in [1, this]). */
+    unsigned nocMaxDelayHops = 4;
+};
+
+} // namespace d2m
+
+#endif // D2M_FAULT_FAULT_MODEL_HH

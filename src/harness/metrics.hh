@@ -64,6 +64,18 @@ struct Metrics
     double nsLocalPct = 0;       //!< LLC services from the local slice.
     std::uint64_t valueErrors = 0;
     std::uint64_t invariantErrors = 0;
+
+    // Fault injection / detection / recovery (zero with faults off).
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t faultsRecovered = 0;
+    std::uint64_t faultsCorrected = 0;   //!< ECC data corrections.
+    std::uint64_t linesRefetched = 0;
+    std::uint64_t nocDropped = 0;
+    std::uint64_t nocRetries = 0;
+    std::uint64_t recoveryMessages = 0;
+    std::uint64_t recoveryCycles = 0;
+    double avgDetectionLatency = 0;      //!< Accesses, injection->detect.
 };
 
 /** Extract metrics after a run. */

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.hh"
+
 namespace d2m
 {
 
@@ -19,11 +21,8 @@ runOne(ConfigKind kind, const NamedWorkload &wl, const SweepOptions &opts)
         measured = wl.params.instructionsPerCore;
 
     std::uint64_t warmup = opts.warmupInstsPerCore;
-    if (warmup == ~std::uint64_t(0)) {
-        warmup = measured;
-        if (const char *env = std::getenv("D2M_WARMUP"))
-            warmup = std::strtoull(env, nullptr, 10);
-    }
+    if (warmup == ~std::uint64_t(0))
+        warmup = envU64("D2M_WARMUP", measured);
 
     auto streams = makeStreams(wl, system->params().numNodes,
                                system->params().lineSize,

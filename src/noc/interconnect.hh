@@ -22,6 +22,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "fault/fault_injector.hh"
 #include "noc/message.hh"
 #include "sim/sim_object.hh"
 
@@ -71,8 +72,27 @@ class Interconnect : public SimObject
         if (carriesData(type))
             dataBytes += lineSize_;
         ++perType_[static_cast<size_t>(type)];
-        return hopLatency_;
+        Cycles lat = hopLatency_;
+        if (faults_) [[unlikely]] {
+            // Link faults: each retransmission of a dropped message is
+            // real traffic and is re-counted in full.
+            const FaultInjector::NocFault f = faults_->onNocSend();
+            for (unsigned r = 0; r < f.retries; ++r) {
+                ++totalMessages;
+                totalBytes += bytes;
+                if (isD2mOnly(type))
+                    ++d2mMessages;
+                if (carriesData(type))
+                    dataBytes += lineSize_;
+                ++perType_[static_cast<size_t>(type)];
+            }
+            lat += f.extraLatency;
+        }
+        return lat;
     }
+
+    /** Bind the fault injector modeling link drops/delays. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     /**
      * Multicast @p type from @p src to every node whose bit is set in
@@ -116,6 +136,7 @@ class Interconnect : public SimObject
     unsigned numNodes_;
     unsigned lineSize_;
     Cycles hopLatency_;
+    FaultInjector *faults_ = nullptr;
     std::array<std::uint64_t, static_cast<size_t>(MsgType::NUM_TYPES)>
         perType_;
 };

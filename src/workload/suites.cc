@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/env.hh"
+
 namespace d2m
 {
 
@@ -322,8 +324,7 @@ suiteNames()
 std::uint64_t
 instsPerCoreOverride()
 {
-    const char *env = std::getenv("D2M_INSTS_PER_CORE");
-    return env ? std::strtoull(env, nullptr, 10) : 0;
+    return envU64("D2M_INSTS_PER_CORE", 0);
 }
 
 std::vector<std::unique_ptr<AccessStream>>

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Negative tests for the D2M invariant checker (DESIGN.md Section 6):
+ * each directed corruption must make checkInvariants() fail with a
+ * message naming the broken invariant. Uses the fault model's directed
+ * corruption API with mark=false, so the detection layer stays out of
+ * the way and the checker sees the raw damage.
+ *
+ *  1. Deterministic LI          -> "deterministic LI violated"
+ *  2. Tracking completeness     -> "unreachable from any metadata LI"
+ *  3. Single master             -> "masters"
+ *  4. PB soundness              -> "PB bit set for node without MD2"
+ *  5. Private exclusivity       -> "private region with multiple PB"
+ *  6. Inclusion (MD2/MD3)       -> "without MD2" / "MD3"
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "d2m/d2m_system.hh"
+#include "fault/d2m_fault_model.hh"
+#include "harness/configs.hh"
+#include "test_util.hh"
+
+namespace d2m
+{
+namespace
+{
+
+struct Fixture
+{
+    std::unique_ptr<MemorySystem> owner;
+    D2mSystem *sys = nullptr;
+    D2mFaultModel *fm = nullptr;
+
+    explicit Fixture(ConfigKind kind = ConfigKind::D2mNsR)
+    {
+        SystemParams p;
+        p.fault.enabled = true;  // directed API only; all rates zero
+        owner = makeSystem(kind, p);
+        sys = dynamic_cast<D2mSystem *>(owner.get());
+        fm = sys->faultModel();
+    }
+
+    Addr
+    lineAddrOf(Addr va) const
+    {
+        return sys->pageTable().translate(0, va) >>
+               sys->params().lineShift();
+    }
+
+    unsigned
+    idxOf(Addr va) const
+    {
+        return static_cast<unsigned>(lineAddrOf(va) &
+                                     (sys->params().regionLines - 1));
+    }
+};
+
+TEST(InvariantNegative, CleanSystemPasses)
+{
+    Fixture f;
+    test::run(*f.sys, 0, test::store(0x1000, 1));
+    test::run(*f.sys, 1, test::load(0x9000));
+    EXPECT_EQ(test::invariantReport(*f.sys), "");
+}
+
+TEST(InvariantNegative, DeterministicLiViolated)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    // LLC way 31 is cold after one access: the LI cannot resolve.
+    ASSERT_TRUE(f.fm->corruptNodeLi(0, test::pregionOf(*f.sys, va),
+                                    f.idxOf(va),
+                                    LocationInfo::inLlc(0, 31),
+                                    /*mark=*/false));
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("deterministic LI violated"), std::string::npos)
+        << why;
+}
+
+TEST(InvariantNegative, InvalidLiInMetadata)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    ASSERT_TRUE(f.fm->corruptNodeLi(0, test::pregionOf(*f.sys, va),
+                                    f.idxOf(va), LocationInfo::invalid(),
+                                    /*mark=*/false));
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("invalid LI in node metadata"), std::string::npos)
+        << why;
+}
+
+TEST(InvariantNegative, UnreachableSlotDetected)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    // Repointing the LI at memory orphans the valid L1 slot: the
+    // completeness pass must flag the leaked capacity.
+    ASSERT_TRUE(f.fm->corruptNodeLi(0, test::pregionOf(*f.sys, va),
+                                    f.idxOf(va), LocationInfo::mem(),
+                                    /*mark=*/false));
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("unreachable from any metadata LI"),
+              std::string::npos)
+        << why;
+}
+
+TEST(InvariantNegative, MultipleMastersDetected)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    test::run(*f.sys, 1, test::load(va));  // second copy in node 1
+    ASSERT_GE(f.fm->setMasterEverywhere(f.lineAddrOf(va)), 2u);
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("masters"), std::string::npos) << why;
+}
+
+TEST(InvariantNegative, PbBitWithoutMd2Entry)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    // Node 3 never touched the region: its PB bit must not be set.
+    ASSERT_TRUE(f.fm->corruptMd3Pb(test::pregionOf(*f.sys, va),
+                                   std::uint64_t(1) << 3,
+                                   /*mark=*/false));
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("PB bit set for node without MD2 entry"),
+              std::string::npos)
+        << why;
+}
+
+TEST(InvariantNegative, PrivateRegionWithMultiplePbBits)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    test::run(*f.sys, 1, test::load(va));  // region is now shared
+    ASSERT_TRUE(f.fm->corruptPrivateBit(0, test::pregionOf(*f.sys, va),
+                                        true, /*mark=*/false));
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("private region with multiple PB bits"),
+              std::string::npos)
+        << why;
+}
+
+TEST(InvariantNegative, InclusionMd2Dropped)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    ASSERT_TRUE(f.fm->dropMd2Entry(0, test::pregionOf(*f.sys, va)));
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("without MD2"), std::string::npos) << why;
+}
+
+TEST(InvariantNegative, InclusionMd3Dropped)
+{
+    Fixture f;
+    const Addr va = 0x1000;
+    test::run(*f.sys, 0, test::store(va, 1));
+    ASSERT_TRUE(f.fm->dropMd3Entry(test::pregionOf(*f.sys, va)));
+    const std::string why = test::invariantReport(*f.sys);
+    EXPECT_NE(why.find("MD3"), std::string::npos) << why;
+}
+
+TEST(InvariantNegative, CollectsMultipleViolations)
+{
+    Fixture f;
+    const Addr va1 = 0x1000;
+    const Addr va2 = 0x9000;  // different region
+    test::run(*f.sys, 0, test::store(va1, 1));
+    test::run(*f.sys, 0, test::store(va2, 2));
+    ASSERT_TRUE(f.fm->corruptNodeLi(0, test::pregionOf(*f.sys, va1),
+                                    f.idxOf(va1), LocationInfo::invalid(),
+                                    false));
+    ASSERT_TRUE(f.fm->corruptMd3Pb(test::pregionOf(*f.sys, va2),
+                                   std::uint64_t(1) << 3, false));
+    const std::string why = test::invariantReport(*f.sys);
+    // Both independent violations appear in one report.
+    EXPECT_NE(why.find("invalid LI in node metadata"), std::string::npos)
+        << why;
+    EXPECT_NE(why.find("PB bit set for node without MD2 entry"),
+              std::string::npos)
+        << why;
+    EXPECT_NE(why.find("; "), std::string::npos) << why;
+}
+
+} // namespace
+} // namespace d2m
