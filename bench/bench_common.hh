@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "harness/report.hh"
+#include "harness/results_json.hh"
 #include "harness/runner.hh"
+#include "obs/json.hh"
 
 namespace d2m::bench
 {
@@ -89,6 +91,37 @@ runRaw(ConfigKind kind, const NamedWorkload &wl,
     ropts.warmupInstsPerCore = measured;
     out.result = runMulticore(*out.system, streams, ropts);
     return out;
+}
+
+/**
+ * Write the sweep's Metrics rows as BENCH_<name>.json into the
+ * directory named by D2M_BENCH_JSON_DIR (no-op when unset), so CI and
+ * plotting scripts consume the same numbers the tables print.
+ */
+inline void
+writeBenchJson(const char *name, const std::vector<Metrics> &rows)
+{
+    const char *dir = std::getenv("D2M_BENCH_JSON_DIR");
+    if (!dir)
+        return;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fputs("{\"bench\":", f);
+    std::fputs(json::quote(name).c_str(), f);
+    std::fputs(",\"rows\":[\n", f);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::fputs(metricsToJson(rows[i]).c_str(), f);
+        std::fputs(i + 1 < rows.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(),
+                 rows.size());
 }
 
 /** One representative benchmark per suite (for expensive ablations). */

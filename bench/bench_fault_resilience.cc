@@ -45,6 +45,8 @@ faultedParams(double rate_pm, bool detect)
     return p;
 }
 
+std::vector<Metrics> allRows;  // accumulated for writeBenchJson
+
 Row
 sweepRate(ConfigKind kind, double rate_pm, bool detect,
           const std::vector<NamedWorkload> &workloads)
@@ -58,6 +60,7 @@ sweepRate(ConfigKind kind, double rate_pm, bool detect,
     unsigned det_lat_n = 0;
     for (const auto &wl : workloads) {
         const Metrics m = runOne(kind, wl, opts);
+        allRows.push_back(m);
         row.injected += m.faultsInjected;
         row.detected += m.faultsDetected;
         row.recovered += m.faultsRecovered;
@@ -127,6 +130,7 @@ main()
         addRow(table, name, "100 (no ECC)", r);
     }
     std::printf("%s\n", table.render().c_str());
+    writeBenchJson("fault_resilience", allRows);
 
     std::printf("Expect: zero value/invariant errors in every protected "
                 "row, non-zero detected+recovered at non-zero rates, and "

@@ -22,6 +22,7 @@ main()
     const auto workloads = benchWorkloads();
     const auto configs = allConfigs();
     const auto rows = runSweep(configs, workloads, benchOptions());
+    writeBenchJson("fig5_traffic", rows);
 
     TextTable table({"suite", "benchmark", "B-2L", "B-3L", "D2M-FS",
                      "D2M-NS", "D2M-NS-R", "NS-R d2m-only",

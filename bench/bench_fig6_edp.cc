@@ -20,6 +20,7 @@ main()
     const auto workloads = benchWorkloads();
     const auto configs = allConfigs();
     const auto rows = runSweep(configs, workloads, benchOptions());
+    writeBenchJson("fig6_edp", rows);
 
     TextTable table({"suite", "benchmark", "B-2L", "B-3L", "D2M-FS",
                      "D2M-NS", "D2M-NS-R"});

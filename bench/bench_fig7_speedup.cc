@@ -21,6 +21,7 @@ main()
     const auto workloads = benchWorkloads();
     const auto configs = allConfigs();
     const auto rows = runSweep(configs, workloads, benchOptions());
+    writeBenchJson("fig7_speedup", rows);
 
     TextTable table({"suite", "benchmark", "B-3L", "D2M-FS", "D2M-NS",
                      "D2M-NS-R", "missLat NS-R/B-2L"});

@@ -24,6 +24,7 @@ main()
     const std::vector<ConfigKind> configs{ConfigKind::D2mNs,
                                           ConfigKind::D2mNsR};
     const auto rows = runSweep(configs, workloads, benchOptions());
+    writeBenchJson("ns_locality", rows);
 
     TextTable table({"suite", "benchmark", "NS local %", "NS-R local %",
                      "NS nearI/D %", "NS-R nearI/D %"});

@@ -21,6 +21,7 @@ main()
     const std::vector<ConfigKind> configs{
         ConfigKind::Base2L, ConfigKind::Base3L, ConfigKind::D2mNsR};
     const auto rows = runSweep(configs, workloads, benchOptions());
+    writeBenchJson("sram_pressure", rows);
 
     double md3 = 0, dir2 = 0, dir3 = 0, md2 = 0, l2tags = 0;
     for (const auto &name : benchmarksIn(rows)) {

@@ -19,6 +19,7 @@ main()
     const auto workloads = benchWorkloads();
     const auto configs = allConfigs();
     const auto rows = runSweep(configs, workloads, benchOptions());
+    writeBenchJson("table4_characterization", rows);
 
     TextTable table({"suite", "L1I miss%", "L1D miss%", "lateI%",
                      "lateD%", "B-3L I", "B-3L D", "NS I", "NS D",

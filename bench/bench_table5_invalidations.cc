@@ -21,6 +21,7 @@ main()
     const std::vector<ConfigKind> configs{ConfigKind::Base2L,
                                           ConfigKind::D2mNsR};
     const auto rows = runSweep(configs, workloads, benchOptions());
+    writeBenchJson("table5_invalidations", rows);
 
     TextTable table({"suite", "benchmark", "inv B-2L", "inv NS-R",
                      "NS-R/B-2L %", "private miss %"});

@@ -2,6 +2,8 @@
 
 #include "common/logging.hh"
 #include "fault/base_fault_model.hh"
+#include "obs/debug.hh"
+#include "obs/trace.hh"
 
 namespace d2m
 {
@@ -87,6 +89,8 @@ BaselineSystem::invalidateInNode(NodeId n, Addr line_addr,
                                  std::uint64_t &mval)
 {
     ++stats_.invalidationsReceived;
+    DTRACE(Coherence, this, "node%u invalidation probe for line 0x%llx",
+           n, static_cast<unsigned long long>(line_addr));
     bool found = false;
     bool have_m = false;
     for (ClassicCache *cache : {nodes_[n].l1d.get(), nodes_[n].l1i.get(),
@@ -108,6 +112,8 @@ BaselineSystem::invalidateInNode(NodeId n, Addr line_addr,
         energy_.count(Structure::L2Tag, nodes_[n].l2->assoc());
     if (!found)
         ++stats_.falseInvalidations;
+    obs::traceEvent(obs::TraceKind::CohDowngrade, n, line_addr,
+                    /*false_inv=*/found ? 0 : 1);
     return have_m;
 }
 
@@ -140,6 +146,10 @@ BaselineSystem::allocateLlc(Addr line_addr, Cycles &lat)
     (void)lat;  // back-invalidations are off the fill critical path
     ClassicLine &victim = llc_->victimFor(line_addr);
     if (victim.valid()) {
+        DTRACE(Replacement, this,
+               "LLC victim line 0x%llx back-invalidated for 0x%llx",
+               static_cast<unsigned long long>(victim.lineAddr),
+               static_cast<unsigned long long>(line_addr));
         // Inclusion: purge every private copy of the victim.
         for (NodeId n = 0; n < params_.numNodes; ++n) {
             const bool tracked = ((victim.sharers >> n) & 1) ||
@@ -193,6 +203,10 @@ BaselineSystem::llcService(NodeId node, Addr line_addr, bool want_excl,
         if (line->owner != invalidNode && line->owner != node) {
             // Directory indirection: forward to the remote E/M owner.
             ++stats_.dirIndirections;
+            DTRACE(Coherence, this,
+                   "node%u line 0x%llx forwarded to owner node%u",
+                   node, static_cast<unsigned long long>(line_addr),
+                   line->owner);
             const NodeId owner = line->owner;
             lat += noc_.send(farSide(), owner, MsgType::FwdReq);
             ClassicCache *where = nullptr;
@@ -363,6 +377,11 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
     if (line) {
         if (store && line->state == Mesi::S) {
             // Upgrade through the directory.
+            DTRACE(Coherence, this,
+                   "node%u S->M upgrade line 0x%llx through directory",
+                   node, static_cast<unsigned long long>(line_addr));
+            obs::traceEvent(obs::TraceKind::CohUpgrade, node, line_addr,
+                            /*proto_case=*/'U');
             lat += noc_.send(node, farSide(), MsgType::UpgradeReq);
             energy_.count(Structure::LlcTag, llc_->assoc());
             energy_.count(Structure::Directory);

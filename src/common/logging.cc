@@ -44,6 +44,21 @@ warnImpl(const std::string &msg)
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
+bool
+WarnLimit::allow()
+{
+    ++count_;
+    if (count_ <= limit_)
+        return true;
+    if (count_ == limit_ + 1) {
+        std::fprintf(stderr,
+                     "warn: (suppressing further identical warnings "
+                     "after %llu)\n",
+                     static_cast<unsigned long long>(limit_));
+    }
+    return false;
+}
+
 void
 informImpl(const std::string &msg)
 {

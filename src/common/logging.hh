@@ -5,12 +5,17 @@
  * panic():  an internal simulator bug; aborts.
  * fatal():  a user error (bad configuration); exits with status 1.
  * warn():   possibly-incorrect behavior the user should know about.
+ * warn_once():    warn() that fires at most once per call site.
+ * warn_limited(): warn() capped per call site (default 5), then a
+ *                 single suppression notice — fault sweeps and NoC
+ *                 retry storms cannot spam thousands of lines.
  * inform(): normal status messages.
  */
 
 #ifndef D2M_COMMON_LOGGING_HH
 #define D2M_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,6 +34,28 @@ std::string vformat(const char *fmt, ...)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
+/** Per-call-site warning budget backing warn_limited(). */
+class WarnLimit
+{
+  public:
+    explicit WarnLimit(std::uint64_t limit = 5) : limit_(limit) {}
+
+    /** @return true while the budget lasts; prints one suppression
+     * notice the first time the budget is exceeded. */
+    bool allow();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t
+    suppressed() const
+    {
+        return count_ > limit_ ? count_ - limit_ : 0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t limit_;
+};
+
 } // namespace d2m
 
 /** Report an internal simulator bug and abort. */
@@ -41,6 +68,28 @@ void informImpl(const std::string &msg);
 
 /** Warn about suspicious but non-fatal behavior. */
 #define warn(...) ::d2m::warnImpl(::d2m::vformat(__VA_ARGS__))
+
+/** warn() at most once per call site. */
+#define warn_once(...)                     \
+    do {                                   \
+        static bool _d2m_warned = false;   \
+        if (!_d2m_warned) {                \
+            _d2m_warned = true;            \
+            warn(__VA_ARGS__);             \
+        }                                  \
+    } while (0)
+
+/** warn() at most @p n times per call site, then suppress with a
+ * single notice. */
+#define warn_limited_n(n, ...)             \
+    do {                                   \
+        static ::d2m::WarnLimit _d2m_wl{n};\
+        if (_d2m_wl.allow())               \
+            warn(__VA_ARGS__);             \
+    } while (0)
+
+/** warn_limited_n with the default per-site budget (5). */
+#define warn_limited(...) warn_limited_n(5, __VA_ARGS__)
 
 /** Print a normal informational message. */
 #define inform(...) ::d2m::informImpl(::d2m::vformat(__VA_ARGS__))

@@ -1,17 +1,34 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace d2m::stats
 {
 
-StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
-    : name_(std::move(name)), desc_(std::move(desc))
+std::string
+formatFloat(double v)
 {
-    if (parent)
-        parent->addStat(this);
+    return json::number(v);
+}
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc)), parent_(parent)
+{
+    if (parent_)
+        parent_->addStat(this);
+}
+
+StatBase::~StatBase()
+{
+    // Deregister so a stat destroyed before its parent group does not
+    // leave a dangling pointer in the group's stat list (the group
+    // clears parent_ first when it is the one destroyed early).
+    if (parent_)
+        parent_->removeStat(this);
 }
 
 void
@@ -21,10 +38,24 @@ Counter::print(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Counter::printJson(std::ostream &os) const
+{
+    os << json::number(value_);
+}
+
+void
 Average::print(std::ostream &os, const std::string &prefix) const
 {
-    os << prefix << name() << " " << mean() << " (n=" << count_
-       << ") # " << desc() << "\n";
+    os << prefix << name() << " " << formatFloat(mean()) << " (n="
+       << count_ << ") # " << desc() << "\n";
+}
+
+void
+Average::printJson(std::ostream &os) const
+{
+    os << "{\"mean\":" << formatFloat(mean())
+       << ",\"count\":" << json::number(count_)
+       << ",\"sum\":" << formatFloat(sum_) << "}";
 }
 
 Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
@@ -49,8 +80,8 @@ Histogram::sample(std::uint64_t v, std::uint64_t weight)
 void
 Histogram::print(std::ostream &os, const std::string &prefix) const
 {
-    os << prefix << name() << " mean=" << mean() << " n=" << samples_
-       << " # " << desc() << "\n";
+    os << prefix << name() << " mean=" << formatFloat(mean())
+       << " n=" << samples_ << " # " << desc() << "\n";
     for (size_t b = 0; b < buckets_.size(); ++b) {
         if (!buckets_[b])
             continue;
@@ -61,6 +92,21 @@ Histogram::print(std::ostream &os, const std::string &prefix) const
             os << ".." << (b + 1) * bucketWidth_ - 1;
         os << "] " << buckets_[b] << "\n";
     }
+}
+
+void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"mean\":" << formatFloat(mean())
+       << ",\"samples\":" << json::number(samples_)
+       << ",\"bucket_width\":" << json::number(bucketWidth_)
+       << ",\"buckets\":[";
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+        if (b)
+            os << ",";
+        os << json::number(buckets_[b]);
+    }
+    os << "]}";
 }
 
 void
@@ -85,6 +131,19 @@ StatGroup::~StatGroup()
         siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
                        siblings.end());
     }
+    // Orphan surviving members so their later destruction (or stat
+    // deregistration) never touches this freed group.
+    for (StatBase *stat : stats_)
+        stat->parent_ = nullptr;
+    for (StatGroup *child : children_)
+        child->parent_ = nullptr;
+}
+
+void
+StatGroup::removeStat(StatBase *stat)
+{
+    stats_.erase(std::remove(stats_.begin(), stats_.end(), stat),
+                 stats_.end());
 }
 
 std::string
@@ -95,14 +154,58 @@ StatGroup::fullStatPath() const
     return parent_->fullStatPath() + "." + name_;
 }
 
+std::vector<const StatBase *>
+StatGroup::sortedStats() const
+{
+    std::vector<const StatBase *> out(stats_.begin(), stats_.end());
+    std::stable_sort(out.begin(), out.end(),
+                     [](const StatBase *a, const StatBase *b) {
+                         return a->name() < b->name();
+                     });
+    return out;
+}
+
+std::vector<const StatGroup *>
+StatGroup::sortedChildren() const
+{
+    std::vector<const StatGroup *> out(children_.begin(), children_.end());
+    std::stable_sort(out.begin(), out.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->statName() < b->statName();
+                     });
+    return out;
+}
+
 void
 StatGroup::printStats(std::ostream &os) const
 {
     const std::string prefix = fullStatPath() + ".";
-    for (const auto *stat : stats_)
+    for (const auto *stat : sortedStats())
         stat->print(os, prefix);
-    for (const auto *child : children_)
+    for (const auto *child : sortedChildren())
         child->printStats(os);
+}
+
+void
+StatGroup::printJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto *stat : sortedStats()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << json::quote(stat->name()) << ":";
+        stat->printJson(os);
+    }
+    for (const auto *child : sortedChildren()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << json::quote(child->statName()) << ":";
+        child->printJson(os);
+    }
+    os << "}";
 }
 
 void

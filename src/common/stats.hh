@@ -20,12 +20,15 @@ namespace d2m::stats
 
 class StatGroup;
 
+/** Fixed-precision (deterministic) float formatting for stat output. */
+std::string formatFloat(double v);
+
 /** Base class for a single named statistic. */
 class StatBase
 {
   public:
     StatBase(StatGroup *parent, std::string name, std::string desc);
-    virtual ~StatBase() = default;
+    virtual ~StatBase();
 
     StatBase(const StatBase &) = delete;
     StatBase &operator=(const StatBase &) = delete;
@@ -37,12 +40,18 @@ class StatBase
     virtual void print(std::ostream &os,
                        const std::string &prefix) const = 0;
 
+    /** Emit this statistic's value as one JSON value (no name). */
+    virtual void printJson(std::ostream &os) const = 0;
+
     /** Reset to the post-construction state. */
     virtual void reset() = 0;
 
   private:
+    friend class StatGroup;  //!< Clears parent_ on group destruction.
+
     std::string name_;
     std::string desc_;
+    StatGroup *parent_;
 };
 
 /** A monotonically increasing (or adjustable) scalar counter. */
@@ -59,6 +68,7 @@ class Counter : public StatBase
     std::uint64_t value() const { return value_; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -85,6 +95,7 @@ class Average : public StatBase
     double sum() const { return sum_; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { sum_ = 0.0; count_ = 0; }
 
   private:
@@ -106,6 +117,7 @@ class Histogram : public StatBase
     std::uint64_t bucketCount(unsigned b) const { return buckets_[b]; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -135,16 +147,32 @@ class StatGroup
     /** Full dotted path from the root group. */
     std::string fullStatPath() const;
 
-    /** Recursively print all statistics. */
+    /** Recursively print all statistics (stable name order, fixed
+     * float precision — output is bit-identical across runs). */
     void printStats(std::ostream &os) const;
+
+    /**
+     * Recursively emit this group as one JSON object: each statistic
+     * as "name": value and each child group as "name": {...}, both in
+     * stable (sorted-by-name) order.
+     */
+    void printJson(std::ostream &os) const;
 
     /** Recursively reset all statistics. Subclasses with non-Stat
      * counters override and chain to the base. */
     virtual void resetStats();
 
     void addStat(StatBase *stat) { stats_.push_back(stat); }
+    void removeStat(StatBase *stat);
+
+    const std::vector<StatBase *> &stats() const { return stats_; }
+    const std::vector<StatGroup *> &children() const { return children_; }
 
   private:
+    /** Stats sorted by name (print/JSON stable ordering). */
+    std::vector<const StatBase *> sortedStats() const;
+    std::vector<const StatGroup *> sortedChildren() const;
+
     std::string name_;
     StatGroup *parent_;
     std::vector<StatBase *> stats_;

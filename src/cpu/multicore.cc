@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/debug.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
 
 namespace d2m
 {
@@ -31,25 +34,27 @@ runMulticore(MemorySystem &system,
     std::uint64_t insts_at_reset = 0;
     Tick cycles_at_reset = 0;
 
+    obs::SimRateProfiler profiler;
+    std::uint64_t total_committed = 0;
+
     unsigned remaining = n;
     while (remaining > 0) {
-        if (!warm) {
-            std::uint64_t committed = 0;
-            for (const auto &core : cores)
-                committed += core.instructions();
-            if (committed >= warmup_total) {
-                warm = true;
-                system.resetStats();
-                insts_at_reset = committed;
-                for (const auto &core : cores) {
-                    cycles_at_reset =
-                        std::max(cycles_at_reset, core.finishTime());
-                }
-                result.accesses = 0;
-                result.totalAccessLatency = 0;
-                result.lateHitsI = result.lateHitsD = 0;
-                result.mergedMissesI = result.mergedMissesD = 0;
+        if (!warm && total_committed >= warmup_total) {
+            warm = true;
+            system.resetStats();
+            profiler.phaseReset();
+            // Marker so post-warmup aggregates recomputed from the
+            // trace line up with the (reset) Stats counters.
+            obs::traceEvent(obs::TraceKind::StatsReset, 0);
+            insts_at_reset = total_committed;
+            for (const auto &core : cores) {
+                cycles_at_reset =
+                    std::max(cycles_at_reset, core.finishTime());
             }
+            result.accesses = 0;
+            result.totalAccessLatency = 0;
+            result.lateHitsI = result.lateHitsD = 0;
+            result.mergedMissesI = result.mergedMissesD = 0;
         }
         // Pick the active core with the smallest issue clock.
         unsigned best = n;
@@ -78,9 +83,27 @@ runMulticore(MemorySystem &system,
         if (acc.instCount > 0) {
             core.issueInstructions(acc.instCount);
             core.countInstructions(acc.instCount);
+            total_committed += acc.instCount;
+            result.heartbeats +=
+                profiler.maybeHeartbeat(total_committed, result.accesses)
+                    ? 1
+                    : 0;
         }
 
+        debug::setCurTick(core.now());
+        if (obs::traceEnabled() ||
+            debug::enabled(debug::Flag::Exec)) [[unlikely]] {
+            const unsigned op =
+                isIFetch(acc.type) ? 0 : isWrite(acc.type) ? 2 : 1;
+            DTRACE(Exec, &system, "node%u %s line 0x%llx", best,
+                   op == 0 ? "ifetch" : op == 1 ? "load" : "store",
+                   static_cast<unsigned long long>(line_addr));
+            obs::traceEvent(obs::TraceKind::AccessIssue, best, line_addr,
+                            op);
+        }
         const AccessResult res = system.access(best, acc, core.now());
+        obs::traceEvent(obs::TraceKind::AccessComplete, best, line_addr,
+                        res.latency, res.l1Miss);
         ++result.accesses;
         result.totalAccessLatency += res.latency;
 
@@ -151,6 +174,16 @@ runMulticore(MemorySystem &system,
     }
     result.cycles -= std::min(result.cycles, cycles_at_reset);
     result.instructions -= std::min(result.instructions, insts_at_reset);
+
+    profiler.finish(result.instructions);
+    result.warmupWallSec = profiler.warmupWallSec();
+    result.measureWallSec = profiler.measureWallSec();
+    result.simKips = profiler.kips();
+    debug::setCurTick(result.cycles);
+    obs::traceEvent(obs::TraceKind::RunEnd, 0, result.accesses,
+                    result.instructions,
+                    static_cast<std::uint64_t>(result.simKips));
+    obs::flushGlobal();
     return result;
 }
 

@@ -39,6 +39,12 @@ struct RunResult
     std::uint64_t valueErrors = 0;  //!< Golden-memory mismatches.
     std::uint64_t invariantErrors = 0;
     std::string firstError;
+
+    // Host-side simulation-rate profile (obs/profiler.hh).
+    double warmupWallSec = 0;   //!< Wall-clock spent in warmup.
+    double measureWallSec = 0;  //!< Wall-clock spent measured.
+    double simKips = 0;         //!< Measured kilo-insts / host second.
+    std::uint64_t heartbeats = 0;  //!< Progress heartbeats emitted.
 };
 
 /** Options controlling a run. */

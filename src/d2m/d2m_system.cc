@@ -1,9 +1,12 @@
 #include "d2m/d2m_system.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 #include "fault/d2m_fault_model.hh"
+#include "obs/debug.hh"
+#include "obs/trace.hh"
 
 namespace d2m
 {
@@ -224,6 +227,9 @@ D2mSystem::lookupMetadata(NodeId node, const MemAccess &acc, bool side_i,
     if (Md1Entry *e1 = md1.find(key)) {
         md_level = 0;
         ++events_.md1Hits;
+        DTRACE(MD, this, "node%u MD1-%c hit region 0x%llx", node,
+               side_i ? 'I' : 'D',
+               static_cast<unsigned long long>(e1->pregion));
         ActiveMd amd;
         amd.md1 = e1;
         amd.md2 = ctx.md2->probe(e1->pregion);
@@ -247,6 +253,10 @@ D2mSystem::lookupMetadata(NodeId node, const MemAccess &acc, bool side_i,
     if (Md2Entry *e2 = ctx.md2->find(pregion)) {
         md_level = 1;
         ++events_.md2Hits;
+        DTRACE(MD, this, "node%u MD2 hit region 0x%llx (promote to "
+               "MD1-%c)", node,
+               static_cast<unsigned long long>(pregion),
+               side_i ? 'I' : 'D');
         if (e2->activeInMd1) {
             // Active in the other side's MD1 (footnote 2): migrate.
             // L1-kind LIs are flushed first since the LI encoding
@@ -284,6 +294,8 @@ D2mSystem::caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
 {
     ++stats_.dirIndirections;
     ++events_.md3Lookups;
+    DTRACE(MD, this, "node%u MD miss region 0x%llx: case D through MD3",
+           node, static_cast<unsigned long long>(pregion));
     lat += noc_.send(node, farSide(), MsgType::ReadMM);
     energy_.count(Structure::Md3);
     lat += params_.lat.md3;
@@ -311,6 +323,10 @@ D2mSystem::caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
         slot.key = pregion;
         slot.pb = std::uint64_t(1) << node;
         slot.scramble = scrambler_.next();
+        DTRACE(Index, this,
+               "region 0x%llx assigned index scramble 0x%x (node%u, D4)",
+               static_cast<unsigned long long>(pregion), slot.scramble,
+               node);
         for (auto &li : slot.li)
             li = LocationInfo::invalid();  // private: MD3 LIs invalid
         md3_->markInstalled(slot);
@@ -339,6 +355,12 @@ D2mSystem::caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
             // D2: private -> shared. Pull metadata from the owner.
             ++events_.d2;
             ++events_.privateToShared;
+            DTRACE(Coherence, this,
+                   "region 0x%llx reclassified private -> shared "
+                   "(node%u joins)",
+                   static_cast<unsigned long long>(pregion), node);
+            obs::traceEvent(obs::TraceKind::RegionClass, node, pregion,
+                            /*shared=*/1, /*was_shared=*/0);
             NodeId owner = 0;
             while (!((e3->pb >> owner) & 1))
                 ++owner;
@@ -729,6 +751,8 @@ D2mSystem::maybePrune(NodeId n, std::uint64_t pregion, Md3Entry &e3)
     }
     // Drop the entry and notify MD3 so the PB bit clears.
     ++events_.md2Prunes;
+    DTRACE(MD, this, "node%u MD2 prune region 0x%llx (no local copies)",
+           n, static_cast<unsigned long long>(pregion));
     e2->valid = false;
     noc_.send(n, farSide(), MsgType::PruneNotify);
     e3.pb &= ~(std::uint64_t(1) << n);
@@ -751,6 +775,12 @@ D2mSystem::masterEvicted(NodeId node, TaglessLine &line, bool allow_llc)
         amd.md2->hits < amd.md2->fills / 2) {
         allow_llc = false;
         ++events_.llcBypasses;
+        DTRACE(Replacement, this,
+               "node%u streaming region 0x%llx bypasses LLC "
+               "(fills %llu, hits %llu)",
+               node, static_cast<unsigned long long>(pregion),
+               static_cast<unsigned long long>(amd.md2->fills),
+               static_cast<unsigned long long>(amd.md2->hits));
     }
 
     LocationInfo new_loc;
@@ -781,10 +811,18 @@ D2mSystem::masterEvicted(NodeId node, TaglessLine &line, bool allow_llc)
     if (amd.privateBit()) {
         // Case E: private region, local metadata update only.
         ++events_.e;
+        DTRACE(Replacement, this,
+               "node%u master evict line 0x%llx: case E -> %s",
+               node, static_cast<unsigned long long>(line_addr),
+               allow_llc ? "LLC victim location" : "memory");
         amd.li()[idx] = new_loc;
     } else {
         // Case F: shared region, blocking EvictReq through MD3.
         ++events_.f;
+        DTRACE(Replacement, this,
+               "node%u master evict line 0x%llx: case F through MD3 -> %s",
+               node, static_cast<unsigned long long>(line_addr),
+               allow_llc ? "LLC victim location" : "memory");
         noc_.send(node, farSide(), MsgType::EvictReq);
         energy_.count(Structure::Md3);
         lockRegion(pregion);
@@ -884,6 +922,8 @@ void
 D2mSystem::nodeRegionEvict(NodeId node, std::uint64_t pregion)
 {
     ++events_.md2Spills;
+    DTRACE(MD, this, "node%u MD2 spill region 0x%llx (flush local copies)",
+           node, static_cast<unsigned long long>(pregion));
     ActiveMd amd = activeMdFor(node, pregion, /*charge=*/false);
     panic_if(!amd.tracked(), "evicting an untracked region");
 
@@ -1000,6 +1040,9 @@ D2mSystem::globalMd3Evict(Md3Entry &e3)
 {
     ++events_.md3Evictions;
     const std::uint64_t pregion = e3.key;
+    DTRACE(MD, this, "MD3 evict region 0x%llx (flush %u tracking nodes)",
+           static_cast<unsigned long long>(pregion),
+           static_cast<unsigned>(std::popcount(e3.pb)));
 
     // First flush every tracking node (drops replicas and private
     // masters; dirty data goes straight to memory)...
@@ -1041,6 +1084,13 @@ D2mSystem::fetchFromMaster(NodeId node, const LocationInfo &master,
                            ServiceLevel &level, bool &was_mru)
 {
     was_mru = false;
+    // One LI hop per master indirection: the requester follows its
+    // location info straight to the holder (no tag probes on the way).
+    DTRACE(MD, this, "node%u LI hop for line 0x%llx -> kind %d target %u",
+           node, static_cast<unsigned long long>(line_addr),
+           static_cast<int>(master.kind), master.node);
+    obs::traceEvent(obs::TraceKind::LiHop, node, line_addr,
+                    static_cast<std::uint64_t>(master.kind), master.node);
     switch (master.kind) {
       case LiKind::Llc: {
         const std::uint32_t slice = master.node;
@@ -1149,6 +1199,11 @@ D2mSystem::caseC(NodeId node, ActiveMd &md, std::uint64_t pregion,
     ++events_.c;
     ++stats_.dirIndirections;
     const unsigned idx = lineIdxOf(line_addr);
+    DTRACE(Coherence, this,
+           "node%u write upgrade line 0x%llx: case C through MD3",
+           node, static_cast<unsigned long long>(line_addr));
+    obs::traceEvent(obs::TraceKind::CohUpgrade, node, line_addr,
+                    /*proto_case=*/'C');
 
     lat += noc_.send(node, farSide(), MsgType::ReadExReq);
     energy_.count(Structure::Md3);
@@ -1183,6 +1238,11 @@ D2mSystem::caseC(NodeId node, ActiveMd &md, std::uint64_t pregion,
         if (p == node || p == master_node || !((pb_snapshot >> p) & 1))
             continue;
         noc_.send(farSide(), p, MsgType::Inv);
+        DTRACE(Coherence, this,
+               "node%u invalidated for line 0x%llx (writer node%u)",
+               p, static_cast<unsigned long long>(line_addr), node);
+        obs::traceEvent(obs::TraceKind::CohDowngrade, p, line_addr,
+                        /*false_inv=*/0);
         invalidateLineAtNode(p, pregion, idx, line_addr,
                              LocationInfo::inNode(node));
         noc_.send(p, node, MsgType::InvAck);
@@ -1197,6 +1257,11 @@ D2mSystem::caseC(NodeId node, ActiveMd &md, std::uint64_t pregion,
     // Pruning may have stripped the region back to a single sharer.
     if (classify(true, e3->pb) == RegionClass::Private) {
         ++events_.sharedToPrivate;
+        DTRACE(Coherence, this,
+               "region 0x%llx reclassified shared -> private (node%u)",
+               static_cast<unsigned long long>(pregion), node);
+        obs::traceEvent(obs::TraceKind::RegionClass, node, pregion,
+                        /*shared=*/0, /*was_shared=*/1);
         setPrivate(md, true);
         for (auto &li : e3->li)
             li = LocationInfo::invalid();
@@ -1229,6 +1294,10 @@ D2mSystem::replicateToLocalSlice(NodeId node, Addr line_addr,
         ++events_.replicationsInst;
     else
         ++events_.replicationsData;
+    DTRACE(NSLLC, this,
+           "node%u replicated %s line 0x%llx into local slice (way %u)",
+           node, is_ifetch ? "inst" : "data",
+           static_cast<unsigned long long>(line_addr), way);
     return LocationInfo::inLlc(node, way);
 }
 
@@ -1262,6 +1331,8 @@ D2mSystem::pressureEpoch(Tick now)
 {
     if (!nearSide_ || now < nextPressureEpoch_)
         return;
+    DTRACE(NSLLC, this, "pressure-exchange epoch at tick %llu",
+           static_cast<unsigned long long>(now));
     placement_->exchangeEpoch();
     for (NodeId a = 0; a < params_.numNodes; ++a)
         noc_.multicast(a, ~std::uint64_t(0), MsgType::PressureUpdate);
@@ -1339,6 +1410,13 @@ D2mSystem::serviceLine(NodeId node, const MemAccess &acc, bool side_i,
                     // (case B, hit flavor).
                     ++events_.b;
                     ++events_.directAccesses;
+                    DTRACE(Coherence, this,
+                           "node%u store upgrade line 0x%llx: case B "
+                           "(private, hit)",
+                           node,
+                           static_cast<unsigned long long>(line_addr));
+                    obs::traceEvent(obs::TraceKind::CohUpgrade, node,
+                                    line_addr, /*proto_case=*/'B');
                     LocationInfo m = slot.rp;
                     // Chained local NS replica? Drop it first.
                     while (liIsLocal(node, m, line_addr, md.scramble())) {
@@ -1501,6 +1579,11 @@ D2mSystem::serviceLine(NodeId node, const MemAccess &acc, bool side_i,
             ++events_.b;
             if (md_level < 2)
                 ++events_.directAccesses;
+            DTRACE(Coherence, this,
+                   "node%u store upgrade line 0x%llx: case B (private)",
+                   node, static_cast<unsigned long long>(line_addr));
+            obs::traceEvent(obs::TraceKind::CohUpgrade, node, line_addr,
+                            /*proto_case=*/'B');
             const DropResult dropped =
                 dropLocalCopies(node, md, idx, line_addr);
             const LocationInfo master = md.li()[idx];

@@ -212,8 +212,10 @@ D2mFaultModel::loseSlot(const DataArray &arr, std::uint32_t set,
         // slot (owner chains for replicas, case-F NewMaster for
         // masters) -- exactly the bookkeeping a lost slot needs.
         sys_.evictLlcSlot(arr.slice, set, way);
-        if (was_master)
+        if (was_master) {
             ++injector().stats().linesRefetched;
+            injector().noteRecovered(FaultInjector::FaultClass::Refetch);
+        }
         return true;
     }
     const Addr la = slot.lineAddr;
@@ -225,6 +227,7 @@ D2mFaultModel::loseSlot(const DataArray &arr, std::uint32_t set,
         sys_.masterEvicted(arr.node, slot, /*allow_llc=*/false);
         slot.invalidate();
         ++injector().stats().linesRefetched;
+        injector().noteRecovered(FaultInjector::FaultClass::Refetch, la);
         return true;
     }
     // Replica in L1/L2: it heads the node's local chain, so unlink it
@@ -353,6 +356,8 @@ D2mFaultModel::recoverNodeRegion(NodeId node, std::uint64_t pregion)
         return;  // double fault beyond the model's scope
 
     ++injector().stats().recoveredRegions;
+    injector().noteRecovered(FaultInjector::FaultClass::RegionRebuild,
+                             pregion);
     Cycles lat = chargeScrubRoundTrip(node);
     lat += sys_.params_.lat.md2 + sys_.params_.lat.md3;
     sys_.energy_.count(Structure::Md2);
@@ -458,6 +463,8 @@ D2mFaultModel::recoverMd3Entry(std::uint64_t pregion)
     consumeMark(*e3);
 
     ++injector().stats().recoveredMd3;
+    injector().noteRecovered(FaultInjector::FaultClass::Md3Rebuild,
+                             pregion);
     Cycles lat = sys_.params_.lat.md3;
     sys_.energy_.count(Structure::Md3);
 

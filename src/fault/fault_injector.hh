@@ -16,9 +16,12 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "fault/fault_model.hh"
+#include "obs/debug.hh"
+#include "obs/trace.hh"
 #include "sim/sim_object.hh"
 
 namespace d2m
@@ -145,17 +148,20 @@ class FaultInjector
                 rng_.chance(params_.metaFlipsPerMillion * m) &&
                 host_->injectMetaFault(rng_, accessNo_)) {
                 ++stats_.injectedMeta;
+                noteInjected(FaultClass::Meta);
             }
             if (params_.dataLossPerMillion > 0 &&
                 rng_.chance(params_.dataLossPerMillion * m) &&
                 host_->injectDataFault(rng_, accessNo_, true)) {
                 ++stats_.injectedLoss;
+                noteInjected(FaultClass::Loss);
             }
         }
         if (params_.dataFlipsPerMillion > 0 &&
             rng_.chance(params_.dataFlipsPerMillion * m) &&
             host_->injectDataFault(rng_, accessNo_, false)) {
             ++stats_.injectedData;
+            noteInjected(FaultClass::DataFlip);
         }
         if (params_.sweepPeriod && params_.parityDetection &&
             accessNo_ % params_.sweepPeriod == 0) {
@@ -168,6 +174,9 @@ class FaultInjector
     sweep()
     {
         ++stats_.scrubSweeps;
+        DTRACE(Fault, &stats_, "scrub sweep %llu at access %llu",
+               static_cast<unsigned long long>(stats_.scrubSweeps.value()),
+               static_cast<unsigned long long>(accessNo_));
         host_->faultSweep();
     }
 
@@ -210,14 +219,29 @@ class FaultInjector
 
     void setHopLatency(Cycles hop) { hopLatency_ = hop; }
 
+    /** Fault classes shared by the trace records (DESIGN.md §10). */
+    enum class FaultClass : std::uint64_t
+    {
+        Meta = 0, DataFlip = 1, Loss = 2,
+        RegionRebuild = 3, Md3Rebuild = 4, Refetch = 5,
+    };
+
     /** Record a metadata detection (called by the host's recovery). */
     void
     noteMetaDetected(std::uint64_t fault_access)
     {
         ++stats_.detectedMeta;
-        if (fault_access && accessNo_ >= fault_access)
-            stats_.detectionLatency.sample(
-                static_cast<double>(accessNo_ - fault_access));
+        std::uint64_t latency = 0;
+        if (fault_access && accessNo_ >= fault_access) {
+            latency = accessNo_ - fault_access;
+            stats_.detectionLatency.sample(static_cast<double>(latency));
+        }
+        DTRACE(Fault, &stats_,
+               "metadata corruption detected (latency %llu accesses)",
+               static_cast<unsigned long long>(latency));
+        obs::traceEvent(obs::TraceKind::FaultDetect, 0, 0,
+                        static_cast<std::uint64_t>(FaultClass::Meta),
+                        latency);
     }
 
     /** Record an ECC data correction. */
@@ -225,9 +249,28 @@ class FaultInjector
     noteDataCorrected(std::uint64_t fault_access)
     {
         ++stats_.correctedData;
-        if (fault_access && accessNo_ >= fault_access)
-            stats_.detectionLatency.sample(
-                static_cast<double>(accessNo_ - fault_access));
+        std::uint64_t latency = 0;
+        if (fault_access && accessNo_ >= fault_access) {
+            latency = accessNo_ - fault_access;
+            stats_.detectionLatency.sample(static_cast<double>(latency));
+        }
+        DTRACE(Fault, &stats_,
+               "ECC corrected a data flip (latency %llu accesses)",
+               static_cast<unsigned long long>(latency));
+        obs::traceEvent(obs::TraceKind::FaultDetect, 0, 0,
+                        static_cast<std::uint64_t>(FaultClass::DataFlip),
+                        latency);
+    }
+
+    /** Record a completed recovery action (host rebuild / refetch). */
+    void
+    noteRecovered(FaultClass what, std::uint64_t detail = 0)
+    {
+        DTRACE(Fault, &stats_, "recovery action %llu (detail %llu)",
+               static_cast<unsigned long long>(what),
+               static_cast<unsigned long long>(detail));
+        obs::traceEvent(obs::TraceKind::FaultRecover, 0, 0,
+                        static_cast<std::uint64_t>(what), detail);
     }
 
     /**
@@ -249,6 +292,21 @@ class FaultInjector
     }
 
   private:
+    /** Shared injection bookkeeping: one-time activation warning plus
+     * the per-fault trace record. */
+    void
+    noteInjected(FaultClass what)
+    {
+        warn_once("fault injection active (seed %llu); stats below "
+                  "include injected faults",
+                  static_cast<unsigned long long>(params_.seed));
+        DTRACE(Fault, &stats_, "injected fault class %llu at access %llu",
+               static_cast<unsigned long long>(what),
+               static_cast<unsigned long long>(accessNo_));
+        obs::traceEvent(obs::TraceKind::FaultInject, 0, 0,
+                        static_cast<std::uint64_t>(what), accessNo_);
+    }
+
     FaultParams params_;
     FaultStats &stats_;
     Rng rng_;

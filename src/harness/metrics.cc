@@ -39,6 +39,9 @@ collectMetrics(ConfigKind kind, const std::string &suite,
                 : 0.0;
     m.valueErrors = run.valueErrors;
     m.invariantErrors = run.invariantErrors;
+    m.simKips = run.simKips;
+    m.warmupWallSec = run.warmupWallSec;
+    m.measureWallSec = run.measureWallSec;
 
     const double kilo_inst =
         std::max<double>(1.0, static_cast<double>(run.instructions)) /

@@ -76,6 +76,11 @@ struct Metrics
     std::uint64_t recoveryMessages = 0;
     std::uint64_t recoveryCycles = 0;
     double avgDetectionLatency = 0;      //!< Accesses, injection->detect.
+
+    // Host-side simulation-rate profile (obs/profiler.hh).
+    double simKips = 0;          //!< Kilo-insts per host second.
+    double warmupWallSec = 0;
+    double measureWallSec = 0;
 };
 
 /** Extract metrics after a run. */

@@ -1,0 +1,139 @@
+#include "harness/results_json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace d2m
+{
+
+namespace
+{
+
+/** Accumulated rows for this process ("runs" array elements). */
+std::vector<std::string> &
+collectedRuns()
+{
+    static std::vector<std::string> runs;
+    return runs;
+}
+
+void
+appendField(std::ostringstream &os, const char *key, double v, bool &first)
+{
+    if (!first)
+        os << ",";
+    first = false;
+    os << json::quote(key) << ":" << json::number(v);
+}
+
+void
+appendField(std::ostringstream &os, const char *key, std::uint64_t v,
+            bool &first)
+{
+    if (!first)
+        os << ",";
+    first = false;
+    os << json::quote(key) << ":" << json::number(v);
+}
+
+} // namespace
+
+std::string
+metricsToJson(const Metrics &m)
+{
+    std::ostringstream os;
+    os << "{" << json::quote("config") << ":" << json::quote(m.config)
+       << "," << json::quote("suite") << ":" << json::quote(m.suite) << ","
+       << json::quote("benchmark") << ":" << json::quote(m.benchmark);
+    bool first = false;
+    appendField(os, "instructions", m.instructions, first);
+    appendField(os, "cycles", static_cast<std::uint64_t>(m.cycles), first);
+    appendField(os, "accesses", m.accesses, first);
+    appendField(os, "ipc", m.ipc, first);
+    appendField(os, "msgs_per_kilo_inst", m.msgsPerKiloInst, first);
+    appendField(os, "d2m_msgs_per_kilo_inst", m.d2mMsgsPerKiloInst, first);
+    appendField(os, "bytes_per_kilo_inst", m.bytesPerKiloInst, first);
+    appendField(os, "energy_pj", m.energyPj, first);
+    appendField(os, "edp", m.edp, first);
+    appendField(os, "l1i_miss_pct", m.l1iMissPct, first);
+    appendField(os, "l1d_miss_pct", m.l1dMissPct, first);
+    appendField(os, "late_hit_i_pct", m.lateHitIPct, first);
+    appendField(os, "late_hit_d_pct", m.lateHitDPct, first);
+    appendField(os, "near_hit_ratio_i", m.nearHitRatioI, first);
+    appendField(os, "near_hit_ratio_d", m.nearHitRatioD, first);
+    appendField(os, "avg_miss_latency", m.avgMissLatency, first);
+    appendField(os, "invalidations_received", m.invalidationsReceived,
+                first);
+    appendField(os, "private_miss_pct", m.privateMissPct, first);
+    appendField(os, "dir_or_md3_accesses", m.dirOrMd3Accesses, first);
+    appendField(os, "md2_accesses", m.md2Accesses, first);
+    appendField(os, "l2_tag_accesses", m.l2TagAccesses, first);
+    appendField(os, "llc_tag_accesses", m.llcTagAccesses, first);
+    appendField(os, "direct_access_pct", m.directAccessPct, first);
+    appendField(os, "ns_local_pct", m.nsLocalPct, first);
+    appendField(os, "value_errors", m.valueErrors, first);
+    appendField(os, "invariant_errors", m.invariantErrors, first);
+    appendField(os, "faults_injected", m.faultsInjected, first);
+    appendField(os, "faults_detected", m.faultsDetected, first);
+    appendField(os, "faults_recovered", m.faultsRecovered, first);
+    appendField(os, "faults_corrected", m.faultsCorrected, first);
+    appendField(os, "lines_refetched", m.linesRefetched, first);
+    appendField(os, "noc_dropped", m.nocDropped, first);
+    appendField(os, "noc_retries", m.nocRetries, first);
+    appendField(os, "recovery_messages", m.recoveryMessages, first);
+    appendField(os, "recovery_cycles", m.recoveryCycles, first);
+    appendField(os, "avg_detection_latency", m.avgDetectionLatency, first);
+    appendField(os, "sim_kips", m.simKips, first);
+    appendField(os, "warmup_wall_sec", m.warmupWallSec, first);
+    appendField(os, "measure_wall_sec", m.measureWallSec, first);
+    os << "}";
+    return os.str();
+}
+
+const std::string &
+resultsJsonPath()
+{
+    static const std::string path = [] {
+        const char *p = std::getenv("D2M_STATS_JSON");
+        return std::string(p ? p : "");
+    }();
+    return path;
+}
+
+void
+exportRunJson(const Metrics &m, MemorySystem &system)
+{
+    const std::string &path = resultsJsonPath();
+    if (path.empty())
+        return;
+
+    std::ostringstream stats;
+    system.printJson(stats);
+    collectedRuns().push_back("{\"config\":" + json::quote(m.config) +
+                              ",\"suite\":" + json::quote(m.suite) +
+                              ",\"benchmark\":" + json::quote(m.benchmark) +
+                              ",\"metrics\":" + metricsToJson(m) +
+                              ",\"stats\":" + stats.str() + "}");
+
+    // Rewrite the whole document so the file is always valid JSON.
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn_once("cannot open D2M_STATS_JSON file '%s'", path.c_str());
+        return;
+    }
+    std::fputs("{\"runs\":[\n", f);
+    const auto &runs = collectedRuns();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        std::fputs(runs[i].c_str(), f);
+        std::fputs(i + 1 < runs.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+}
+
+} // namespace d2m

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structured results export: Metrics rows and full Stats trees as
+ * machine-readable JSON (DESIGN.md Section 10).
+ *
+ * Set D2M_STATS_JSON=<path> to collect every (config, benchmark) run
+ * of the process into one JSON document:
+ *
+ *   { "runs": [ { "config": ..., "suite": ..., "benchmark": ...,
+ *                 "metrics": { ... }, "stats": { ... } }, ... ] }
+ *
+ * The file is rewritten after each run so it is valid JSON at every
+ * point in time, even if the sweep is interrupted.
+ */
+
+#ifndef D2M_HARNESS_RESULTS_JSON_HH
+#define D2M_HARNESS_RESULTS_JSON_HH
+
+#include <string>
+
+#include "harness/metrics.hh"
+
+namespace d2m
+{
+
+/** One Metrics row as a JSON object (deterministic field order). */
+std::string metricsToJson(const Metrics &m);
+
+/**
+ * Record one finished run. When D2M_STATS_JSON names a file, the run's
+ * metrics row plus @p system's full statistics tree are appended to it
+ * (the accumulated document is rewritten atomically-enough for CI
+ * consumption). No-op when the variable is unset.
+ */
+void exportRunJson(const Metrics &m, MemorySystem &system);
+
+/** The D2M_STATS_JSON path ("" when disabled). */
+const std::string &resultsJsonPath();
+
+} // namespace d2m
+
+#endif // D2M_HARNESS_RESULTS_JSON_HH

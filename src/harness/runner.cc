@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/env.hh"
+#include "harness/results_json.hh"
 
 namespace d2m
 {
@@ -31,6 +32,7 @@ runOne(ConfigKind kind, const NamedWorkload &wl, const SweepOptions &opts)
     ropts.warmupInstsPerCore = warmup;
     const RunResult run = runMulticore(*system, streams, ropts);
     Metrics m = collectMetrics(kind, wl.suite, wl.name, *system, run);
+    exportRunJson(m, *system);
     if (run.valueErrors || run.invariantErrors) {
         std::fprintf(stderr,
                      "ERROR: %s/%s on %s: %llu value errors, %llu "
@@ -59,6 +61,14 @@ runSweep(const std::vector<ConfigKind> &configs,
                              configKindName(kind));
             }
             rows.push_back(runOne(kind, wl, opts));
+            if (opts.verbose) {
+                const Metrics &m = rows.back();
+                std::fprintf(stderr,
+                             "    %.0f KIPS (warmup %.1fs, measure "
+                             "%.1fs)\n",
+                             m.simKips, m.warmupWallSec,
+                             m.measureWallSec);
+            }
         }
     }
     return rows;

@@ -24,6 +24,8 @@
 #include "common/types.hh"
 #include "fault/fault_injector.hh"
 #include "noc/message.hh"
+#include "obs/debug.hh"
+#include "obs/trace.hh"
 #include "sim/sim_object.hh"
 
 namespace d2m
@@ -72,11 +74,23 @@ class Interconnect : public SimObject
         if (carriesData(type))
             dataBytes += lineSize_;
         ++perType_[static_cast<size_t>(type)];
+        DTRACE(NoC, this, "send %u -> %u %s (%uB)", src, dst,
+               msgTypeName(type), bytes);
+        // Exactly one noc_send trace record per counted message, so
+        // post-hoc message counts recomputed from the trace match the
+        // Stats counters bit-for-bit (retries below are re-recorded).
+        obs::traceEvent(obs::TraceKind::NocSend, src, bytes, dst,
+                        static_cast<std::uint64_t>(type));
         Cycles lat = hopLatency_;
         if (faults_) [[unlikely]] {
             // Link faults: each retransmission of a dropped message is
             // real traffic and is re-counted in full.
             const FaultInjector::NocFault f = faults_->onNocSend();
+            if (f.retries > 0) {
+                warn_limited("NoC message %s %u -> %u dropped %u "
+                             "time(s); retransmitted",
+                             msgTypeName(type), src, dst, f.retries);
+            }
             for (unsigned r = 0; r < f.retries; ++r) {
                 ++totalMessages;
                 totalBytes += bytes;
@@ -85,6 +99,10 @@ class Interconnect : public SimObject
                 if (carriesData(type))
                     dataBytes += lineSize_;
                 ++perType_[static_cast<size_t>(type)];
+                DTRACE(NoC, this, "retry %u/%u %u -> %u %s", r + 1,
+                       f.retries, src, dst, msgTypeName(type));
+                obs::traceEvent(obs::TraceKind::NocSend, src, bytes, dst,
+                                static_cast<std::uint64_t>(type));
             }
             lat += f.extraLatency;
         }

@@ -1,0 +1,238 @@
+#include "obs/trace.hh"
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "noc/message.hh"
+#include "obs/debug.hh"
+#include "obs/json.hh"
+
+namespace d2m::obs
+{
+
+TraceSink *globalSink = nullptr;
+
+namespace
+{
+
+constexpr const char *kKindNames[] = {
+    "access_issue", "access_complete", "li_hop", "region_class",
+    "coh_upgrade", "coh_downgrade", "noc_send", "noc_recv",
+    "fault_inject", "fault_detect", "fault_recover", "stats_reset",
+    "heartbeat", "run_end",
+};
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
+              static_cast<std::size_t>(TraceKind::NUM_KINDS));
+
+/** Owns the env-created global sink so exit flushes it. */
+struct GlobalSinkOwner
+{
+    TraceSink *sink = nullptr;
+    ~GlobalSinkOwner()
+    {
+        if (globalSink == sink)
+            globalSink = nullptr;
+        delete sink;
+    }
+} globalOwner;
+
+struct EnvInit
+{
+    EnvInit() { initFromEnv(); }
+} envInit;
+
+void
+append(std::string &out, const char *key, std::uint64_t v)
+{
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += json::number(v);
+}
+
+void
+append(std::string &out, const char *key, const char *v)
+{
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += json::quote(v);
+}
+
+} // namespace
+
+const char *
+traceKindName(TraceKind k)
+{
+    return kKindNames[static_cast<std::size_t>(k)];
+}
+
+std::string
+traceToJson(const TraceRecord &rec)
+{
+    std::string out = "{\"tick\":";
+    out += json::number(static_cast<std::uint64_t>(rec.tick));
+    out += ",\"kind\":";
+    out += json::quote(traceKindName(rec.kind));
+    switch (rec.kind) {
+      case TraceKind::AccessIssue:
+        append(out, "node", rec.node);
+        append(out, "line", rec.addr);
+        append(out, "op", rec.a);  // 0=ifetch 1=load 2=store
+        break;
+      case TraceKind::AccessComplete:
+        append(out, "node", rec.node);
+        append(out, "line", rec.addr);
+        append(out, "lat", rec.a);
+        append(out, "l1_miss", rec.b);
+        break;
+      case TraceKind::LiHop:
+        append(out, "node", rec.node);
+        append(out, "line", rec.addr);
+        append(out, "li", rec.a);      // LiKind ordinal
+        append(out, "target", rec.b);  // node / slice id
+        break;
+      case TraceKind::RegionClass:
+        append(out, "node", rec.node);
+        append(out, "region", rec.addr);
+        append(out, "shared", rec.a);  // new classification
+        append(out, "was", rec.b);
+        break;
+      case TraceKind::CohUpgrade:
+        append(out, "node", rec.node);
+        append(out, "line", rec.addr);
+        append(out, "proto_case", rec.a);  // 'B' or 'C'
+        break;
+      case TraceKind::CohDowngrade:
+        append(out, "node", rec.node);
+        append(out, "line", rec.addr);
+        append(out, "false_inv", rec.a);
+        break;
+      case TraceKind::NocSend:
+      case TraceKind::NocRecv:
+        append(out, "src", rec.node);
+        append(out, "dst", rec.a);
+        append(out, "msg",
+               msgTypeName(static_cast<MsgType>(rec.b)));
+        append(out, "bytes", rec.addr);
+        break;
+      case TraceKind::FaultInject:
+      case TraceKind::FaultDetect:
+      case TraceKind::FaultRecover:
+        append(out, "fault", rec.a);  // 0=meta 1=flip 2=loss / kind
+        append(out, "detail", rec.b);
+        break;
+      case TraceKind::StatsReset:
+        break;
+      case TraceKind::Heartbeat:
+      case TraceKind::RunEnd:
+        append(out, "insts", rec.a);
+        append(out, "accesses", rec.addr);
+        append(out, "kips", rec.b);
+        break;
+      case TraceKind::NUM_KINDS:
+        break;
+    }
+    out.push_back('}');
+    return out;
+}
+
+TraceSink::TraceSink(std::string path, std::size_t capacity)
+    : path_(std::move(path)), capacity_(capacity ? capacity : 1)
+{
+    buf_.reserve(capacity_);
+    if (!path_.empty()) {
+        file_ = std::fopen(path_.c_str(), "w");
+        fatal_if(!file_, "cannot open trace file \"%s\"", path_.c_str());
+    }
+}
+
+TraceSink::~TraceSink()
+{
+    flush();
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceSink::record(const TraceRecord &rec)
+{
+    ++recorded_;
+    if (buf_.size() < capacity_) {
+        buf_.push_back(rec);
+        if (file_ && buf_.size() == capacity_)
+            flush();
+        return;
+    }
+    // Ring is full and there is no file: wrap, dropping the oldest.
+    buf_[head_] = rec;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+}
+
+void
+TraceSink::flush()
+{
+    if (!file_) {
+        return;  // in-memory ring: records stay for snapshot()
+    }
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+        const TraceRecord &rec = buf_[(head_ + i) % buf_.size()];
+        const std::string line = traceToJson(rec);
+        std::fwrite(line.data(), 1, line.size(), file_);
+        std::fputc('\n', file_);
+        ++flushed_;
+    }
+    std::fflush(file_);
+    buf_.clear();
+    head_ = 0;
+}
+
+std::vector<TraceRecord>
+TraceSink::snapshot() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i)
+        out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+}
+
+void
+traceEventSlow(TraceKind kind, std::uint32_t node, std::uint64_t addr,
+               std::uint64_t a, std::uint64_t b)
+{
+    if (!globalSink)
+        return;
+    globalSink->record({debug::curTick, kind, node, addr, a, b});
+}
+
+TraceSink *
+setGlobalSink(TraceSink *sink)
+{
+    TraceSink *old = globalSink;
+    globalSink = sink;
+    return old;
+}
+
+void
+initFromEnv()
+{
+    const char *path = std::getenv("D2M_TRACE_FILE");
+    if (!path || !*path)
+        return;
+    const std::size_t cap =
+        static_cast<std::size_t>(envU64("D2M_TRACE_BUF", 8192));
+    globalOwner.sink = new TraceSink(path, cap);
+    globalSink = globalOwner.sink;
+}
+
+void
+flushGlobal()
+{
+    if (globalSink)
+        globalSink->flush();
+}
+
+} // namespace d2m::obs
