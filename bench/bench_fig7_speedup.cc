@@ -82,5 +82,9 @@ main()
     std::printf("Average L1 miss latency, D2M-NS-R vs Base-2L: %.2fx "
                 "(%+.0f%%)   [paper: -30%%]\n",
                 geomean(lat_ratios), 100.0 * (geomean(lat_ratios) - 1));
+
+    std::printf("\nTail latency (L1 miss latency percentiles, "
+                "cycles):\n%s\n",
+                tailLatencyTable(rows).c_str());
     return 0;
 }

@@ -410,6 +410,7 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
         result.latency = lat;
         result.level = ServiceLevel::L1;
         result.loadValue = line->value;
+        stats_.accessLatency.sample(lat);
         return result;
     }
 
@@ -492,6 +493,8 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
     result.latency = lat;
     result.loadValue = fresh->value;
     stats_.missLatencyTotal += lat;
+    stats_.missLatency.sample(lat);
+    stats_.accessLatency.sample(lat);
     return result;
 }
 

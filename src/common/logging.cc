@@ -24,10 +24,46 @@ vformat(const char *fmt, ...)
     return result;
 }
 
+namespace
+{
+
+// Fixed-size registry: no dynamic allocation, immune to static
+// initialization order (zero-initialized before any registration).
+CrashHook crashHooks[8];
+unsigned numCrashHooks = 0;
+bool crashHooksRan = false;
+
+} // namespace
+
+void
+registerCrashHook(CrashHook hook)
+{
+    if (!hook)
+        return;
+    for (unsigned i = 0; i < numCrashHooks; ++i) {
+        if (crashHooks[i] == hook)
+            return;  // idempotent
+    }
+    if (numCrashHooks < sizeof(crashHooks) / sizeof(crashHooks[0]))
+        crashHooks[numCrashHooks++] = hook;
+}
+
+void
+runCrashHooks()
+{
+    // A hook that itself panics must not recurse into the registry.
+    if (crashHooksRan)
+        return;
+    crashHooksRan = true;
+    for (unsigned i = 0; i < numCrashHooks; ++i)
+        crashHooks[i]();
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    runCrashHooks();
     std::abort();
 }
 
@@ -35,6 +71,7 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    runCrashHooks();
     std::exit(1);
 }
 

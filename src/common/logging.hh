@@ -34,6 +34,21 @@ std::string vformat(const char *fmt, ...)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
+/**
+ * Hook run on the way out of panic()/fatal(), before the process
+ * dies. Used by the observability layer to flush buffered trace
+ * records so crash traces are debuggable (panic() aborts without
+ * running destructors or atexit handlers). Hooks must be async-safe
+ * enough to run mid-crash: no allocation-heavy work, no logging.
+ */
+using CrashHook = void (*)();
+
+/** Register @p hook (bounded registry; at most 8, extras dropped). */
+void registerCrashHook(CrashHook hook);
+
+/** Run all registered hooks once; reentrant calls are no-ops. */
+void runCrashHooks();
+
 /** Per-call-site warning budget backing warn_limited(). */
 class WarnLimit
 {

@@ -1,6 +1,8 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -106,6 +108,16 @@ Histogram::printJson(std::ostream &os) const
             os << ",";
         os << json::number(buckets_[b]);
     }
+    // Lower bucket edges (same length as "buckets"): bucket i covers
+    // [bounds[i], bounds[i+1]) and the final (overflow) bucket is
+    // unbounded above — consumers can reconstruct the distribution
+    // without knowing the fixed-width convention.
+    os << "],\"bounds\":[";
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+        if (b)
+            os << ",";
+        os << json::number(b * bucketWidth_);
+    }
     os << "]}";
 }
 
@@ -115,6 +127,132 @@ Histogram::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     samples_ = 0;
     sum_ = 0.0;
+}
+
+Histogram2::Histogram2(StatGroup *parent, std::string name,
+                       std::string desc, unsigned sub_bits)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      subBits_(sub_bits)
+{
+    panic_if(sub_bits == 0 || sub_bits > 16,
+             "Histogram2 sub_bits must be in [1, 16]");
+}
+
+std::size_t
+Histogram2::bucketIndex(std::uint64_t v) const
+{
+    // Values below 2^sub_bits get one exact bucket each; above, the
+    // top sub_bits bits after the leading one select a linear
+    // sub-bucket within the value's power-of-two range.
+    if ((v >> subBits_) == 0)
+        return static_cast<std::size_t>(v);
+    const unsigned k = 63 - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = k - subBits_;
+    const std::uint64_t sub = (v >> shift) & ((std::uint64_t(1)
+                                               << subBits_) - 1);
+    return ((static_cast<std::size_t>(k) - subBits_ + 1) << subBits_) +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+Histogram2::bucketLow(std::size_t idx) const
+{
+    const std::uint64_t m = std::uint64_t(1) << subBits_;
+    if (idx < m)
+        return idx;
+    const std::size_t block = idx >> subBits_;
+    const std::uint64_t sub = idx & (m - 1);
+    const unsigned shift = static_cast<unsigned>(block) - 1;
+    return (m + sub) << shift;
+}
+
+std::uint64_t
+Histogram2::bucketHigh(std::size_t idx) const
+{
+    const std::uint64_t m = std::uint64_t(1) << subBits_;
+    if (idx < m)
+        return idx;
+    const unsigned shift = static_cast<unsigned>(idx >> subBits_) - 1;
+    return bucketLow(idx) + ((std::uint64_t(1) << shift) - 1);
+}
+
+void
+Histogram2::sample(std::uint64_t v, std::uint64_t weight)
+{
+    const std::size_t idx = bucketIndex(v);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    buckets_[idx] += weight;
+    samples_ += weight;
+    sum_ += static_cast<double>(v) * static_cast<double>(weight);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double
+Histogram2::percentile(double p) const
+{
+    if (!samples_)
+        return 0.0;
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(samples_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        seen += buckets_[b];
+        if (seen >= rank) {
+            return static_cast<double>(
+                std::min(bucketHigh(b), max_));
+        }
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Histogram2::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " mean=" << formatFloat(mean())
+       << " p50=" << formatFloat(percentile(50))
+       << " p95=" << formatFloat(percentile(95))
+       << " p99=" << formatFloat(percentile(99))
+       << " max=" << max_ << " n=" << samples_ << " # " << desc()
+       << "\n";
+}
+
+void
+Histogram2::printJson(std::ostream &os) const
+{
+    os << "{\"mean\":" << formatFloat(mean())
+       << ",\"samples\":" << json::number(samples_)
+       << ",\"min\":" << json::number(minValue())
+       << ",\"max\":" << json::number(max_)
+       << ",\"p50\":" << formatFloat(percentile(50))
+       << ",\"p95\":" << formatFloat(percentile(95))
+       << ",\"p99\":" << formatFloat(percentile(99))
+       << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (!buckets_[b])
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"lo\":" << json::number(bucketLow(b))
+           << ",\"hi\":" << json::number(bucketHigh(b))
+           << ",\"count\":" << json::number(buckets_[b]) << "}";
+    }
+    os << "]}";
+}
+
+void
+Histogram2::reset()
+{
+    buckets_.clear();
+    samples_ = 0;
+    sum_ = 0.0;
+    min_ = ~std::uint64_t(0);
+    max_ = 0;
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)

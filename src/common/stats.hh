@@ -46,6 +46,14 @@ class StatBase
     /** Reset to the post-construction state. */
     virtual void reset() = 0;
 
+    /**
+     * Scalar used by interval snapshotting (obs/snapshot.hh): a
+     * monotonically non-decreasing count whose per-interval deltas are
+     * meaningful (counter value, sample count). Resets to 0 with
+     * reset().
+     */
+    virtual std::uint64_t snapshotValue() const = 0;
+
   private:
     friend class StatGroup;  //!< Clears parent_ on group destruction.
 
@@ -70,6 +78,7 @@ class Counter : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
+    std::uint64_t snapshotValue() const override { return value_; }
 
   private:
     std::uint64_t value_ = 0;
@@ -97,6 +106,7 @@ class Average : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override { sum_ = 0.0; count_ = 0; }
+    std::uint64_t snapshotValue() const override { return count_; }
 
   private:
     double sum_ = 0.0;
@@ -119,12 +129,71 @@ class Histogram : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override;
+    std::uint64_t snapshotValue() const override { return samples_; }
 
   private:
     std::uint64_t bucketWidth_;
     std::vector<std::uint64_t> buckets_;  // last bucket = overflow
     std::uint64_t samples_ = 0;
     double sum_ = 0.0;
+};
+
+/**
+ * A log2-bucketed histogram with percentile readout (HDR-histogram
+ * style): each power-of-two range is subdivided into 2^sub_bits
+ * linear sub-buckets, bounding the relative quantization error of
+ * percentile() by 1 / 2^sub_bits while covering the full uint64 value
+ * range in a few hundred buckets. Bucket storage grows on demand, so
+ * a histogram that only ever sees small values stays small.
+ *
+ * Used for distributional metrics the paper argues about in the tail
+ * (miss latency, LI indirection depth, NoC delay): a mean hides
+ * exactly the p95/p99 behaviour Figs. 5-7 are sensitive to.
+ */
+class Histogram2 : public StatBase
+{
+  public:
+    Histogram2(StatGroup *parent, std::string name, std::string desc,
+               unsigned sub_bits = 4);
+
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+
+    std::uint64_t totalSamples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    std::uint64_t minValue() const { return samples_ ? min_ : 0; }
+    std::uint64_t maxValue() const { return max_; }
+
+    /**
+     * Value at percentile @p p in [0, 100]: the upper edge of the
+     * bucket holding the rank-ceil(p/100*N) sample (clamped to the
+     * observed max), which over-estimates the exact order statistic
+     * by at most a factor 1 + 1/2^sub_bits. 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Inclusive value range [lo, hi] covered by bucket @p idx. */
+    std::uint64_t bucketLow(std::size_t idx) const;
+    std::uint64_t bucketHigh(std::size_t idx) const;
+    std::uint64_t bucketCount(std::size_t idx) const
+    {
+        return idx < buckets_.size() ? buckets_[idx] : 0;
+    }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override;
+    std::uint64_t snapshotValue() const override { return samples_; }
+
+  private:
+    std::size_t bucketIndex(std::uint64_t v) const;
+
+    unsigned subBits_;
+    std::vector<std::uint64_t> buckets_;  //!< Grown on demand.
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
 };
 
 /**

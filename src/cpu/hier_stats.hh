@@ -46,7 +46,12 @@ class HierarchyStats : public SimObject
                           "misses requiring a directory/MD3 access"),
           missLatencyTotal(this, "missLatencyTotal",
                            "summed L1 miss latency (cycles)"),
-          dramAccesses(this, "dramAccesses", "accesses serviced by DRAM")
+          dramAccesses(this, "dramAccesses", "accesses serviced by DRAM"),
+          accessLatency(this, "accessLatency",
+                        "demand-access latency distribution (cycles, "
+                        "all accesses incl. L1 hits)"),
+          missLatency(this, "missLatency",
+                      "L1 miss latency distribution (cycles)")
     {}
 
     stats::Counter accesses;
@@ -65,6 +70,11 @@ class HierarchyStats : public SimObject
     stats::Counter dirIndirections;
     stats::Counter missLatencyTotal;
     stats::Counter dramAccesses;
+
+    // Distribution axis (Section V-D tail-latency comparison): log2
+    // histograms with p50/p95/p99 readout.
+    stats::Histogram2 accessLatency;
+    stats::Histogram2 missLatency;
 };
 
 } // namespace d2m

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "obs/debug.hh"
 #include "obs/profiler.hh"
+#include "obs/snapshot.hh"
 #include "obs/trace.hh"
 
 namespace d2m
@@ -41,6 +42,9 @@ runMulticore(MemorySystem &system,
     while (remaining > 0) {
         if (!warm && total_committed >= warmup_total) {
             warm = true;
+            // Close the in-flight warmup interval against the
+            // pre-reset counters before they vanish.
+            obs::intervalStatsReset(total_committed, debug::curTick);
             system.resetStats();
             profiler.phaseReset();
             // Marker so post-warmup aggregates recomputed from the
@@ -106,6 +110,7 @@ runMulticore(MemorySystem &system,
                         res.latency, res.l1Miss);
         ++result.accesses;
         result.totalAccessLatency += res.latency;
+        obs::intervalTick(total_committed, core.now());
 
         if (merged) {
             // Access landed in an open miss window: a "late hit"
@@ -172,6 +177,10 @@ runMulticore(MemorySystem &system,
         result.cycles = std::max(result.cycles, core.finishTime());
         result.instructions += core.instructions();
     }
+    // Close the last partial interval with absolute stamps (before
+    // the warmup offsets are subtracted below) so interval tick/inst
+    // ranges stay monotonic across the whole run.
+    obs::intervalFinish(total_committed, result.cycles);
     result.cycles -= std::min(result.cycles, cycles_at_reset);
     result.instructions -= std::min(result.instructions, insts_at_reset);
 

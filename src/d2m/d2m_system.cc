@@ -1091,6 +1091,7 @@ D2mSystem::fetchFromMaster(NodeId node, const LocationInfo &master,
            static_cast<int>(master.kind), master.node);
     obs::traceEvent(obs::TraceKind::LiHop, node, line_addr,
                     static_cast<std::uint64_t>(master.kind), master.node);
+    ++curLiHops_;
     switch (master.kind) {
       case LiKind::Llc: {
         const std::uint32_t slice = master.node;
@@ -1363,8 +1364,12 @@ D2mSystem::access(NodeId node, const MemAccess &acc, Tick now)
         (acc.vaddr & ((Addr(1) << regionShift_) - 1));
     const Addr line_addr = lineOf(paddr);
 
-    return serviceLine(node, acc, side_i, md, md.pregion, line_addr,
-                       md_level, lat);
+    curLiHops_ = 0;
+    const AccessResult res = serviceLine(node, acc, side_i, md,
+                                         md.pregion, line_addr, md_level,
+                                         lat);
+    stats_.accessLatency.sample(res.latency);
+    return res;
 }
 
 AccessResult
@@ -1615,6 +1620,8 @@ D2mSystem::serviceLine(NodeId node, const MemAccess &acc, bool side_i,
     }
 
     stats_.missLatencyTotal += lat;
+    stats_.missLatency.sample(lat);
+    events_.liHopsPerMiss.sample(curLiHops_);
     events_.sampleCoverage(md_level, dataLevelIndex(level));
     res.latency = lat;
     res.level = level;

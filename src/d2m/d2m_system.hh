@@ -302,6 +302,9 @@ class D2mSystem : public MemorySystem
 
     Tick nextPressureEpoch_ = 0;
 
+    /** LI hops chased by the access in flight (events_.liHopsPerMiss). */
+    std::uint64_t curLiHops_ = 0;
+
     std::unique_ptr<D2mFaultModel> faultModel_;
 
     HierarchyStats stats_;

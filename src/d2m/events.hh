@@ -67,7 +67,10 @@ class D2mEvents : public SimObject
                       "streaming-region masters sent straight to "
                       "memory (bypass extension)"),
           coverage(this, "coverage",
-                   "MD level x data level coverage matrix samples")
+                   "MD level x data level coverage matrix samples"),
+          liHopsPerMiss(this, "liHopsPerMiss",
+                        "LI-indirection hops followed per L1 miss "
+                        "(0 = direct service, no master chase)")
     {}
 
     stats::Counter aMd1, aMd2, aMasterLlc, aMasterMem, aMasterRemote;
@@ -81,6 +84,7 @@ class D2mEvents : public SimObject
     stats::Counter lockAcquisitions;
     stats::Counter llcBypasses;
     stats::Counter coverage;
+    stats::Histogram2 liHopsPerMiss;
 
     /**
      * Coverage matrix for the D2D tracking study (Section II-A):

@@ -48,6 +48,7 @@ collectMetrics(ConfigKind kind, const std::string &suite,
         1000.0;
 
     const Interconnect &noc = system.noc();
+    m.nocDelayP99 = noc.sendDelay.percentile(99);
     m.msgsPerKiloInst = noc.totalMessages.value() / kilo_inst;
     m.d2mMsgsPerKiloInst = noc.d2mMessages.value() / kilo_inst;
     m.bytesPerKiloInst = noc.totalBytes.value() / kilo_inst;
@@ -96,6 +97,10 @@ collectMetrics(ConfigKind kind, const std::string &suite,
             misses ? static_cast<double>(hs->missLatencyTotal.value()) /
                          static_cast<double>(misses)
                    : 0.0;
+        m.missLatencyP50 = hs->missLatency.percentile(50);
+        m.missLatencyP95 = hs->missLatency.percentile(95);
+        m.missLatencyP99 = hs->missLatency.percentile(99);
+        m.accessLatencyP99 = hs->accessLatency.percentile(99);
         m.invalidationsReceived = hs->invalidationsReceived.value();
         m.privateMissPct = ratio(hs->missesToPrivate.value(), misses);
     }
@@ -109,6 +114,8 @@ collectMetrics(ConfigKind kind, const std::string &suite,
 
     if (auto *ds = dynamic_cast<D2mSystem *>(&system)) {
         const D2mEvents &ev = ds->events();
+        m.avgLiHops = ev.liHopsPerMiss.mean();
+        m.liHopsP99 = ev.liHopsPerMiss.percentile(99);
         const std::uint64_t misses = ds->hierStats().l1iMisses.value() +
                                      ds->hierStats().l1dMisses.value();
         m.directAccessPct =

@@ -46,8 +46,16 @@ struct Metrics
     double nearHitRatioI = 0;  //!< L2 (3L) / local NS slice hit ratio.
     double nearHitRatioD = 0;
 
-    // Section V-D: latency.
+    // Section V-D: latency. Percentiles come from the log2 histograms
+    // (stats::Histogram2) so D2M vs. Base-2L/3L tails are comparable.
     double avgMissLatency = 0;
+    double missLatencyP50 = 0;
+    double missLatencyP95 = 0;
+    double missLatencyP99 = 0;
+    double accessLatencyP99 = 0;  //!< All demand accesses incl. L1 hits.
+    double nocDelayP99 = 0;       //!< Per-message NoC delay tail.
+    double avgLiHops = 0;         //!< D2M: LI hops per miss (0 for base).
+    double liHopsP99 = 0;
 
     // Table V.
     std::uint64_t invalidationsReceived = 0;

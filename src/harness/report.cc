@@ -107,6 +107,38 @@ suiteMean(const std::vector<Metrics> &rows, const std::string &suite,
     return n ? sum / n : 0.0;
 }
 
+std::string
+tailLatencyTable(const std::vector<Metrics> &rows,
+                 const std::string &base_config)
+{
+    TextTable table({"suite", "benchmark", "config", "mean", "p50",
+                     "p95", "p99", "p99 vs " + base_config});
+    bool first_bench = true;
+    for (const auto &name : benchmarksIn(rows)) {
+        if (!first_bench)
+            table.addSeparator();
+        first_bench = false;
+        const Metrics *base = findRow(rows, name, base_config);
+        for (const auto &m : rows) {
+            if (m.benchmark != name)
+                continue;
+            std::vector<std::string> cells{
+                m.suite, name, m.config, fmt(m.avgMissLatency),
+                fmt(m.missLatencyP50, 0), fmt(m.missLatencyP95, 0),
+                fmt(m.missLatencyP99, 0)};
+            if (base && base->missLatencyP99 > 0) {
+                cells.push_back(
+                    fmt(m.missLatencyP99 / base->missLatencyP99, 2) +
+                    "x");
+            } else {
+                cells.push_back("-");
+            }
+            table.addRow(std::move(cells));
+        }
+    }
+    return table.render();
+}
+
 std::vector<std::string>
 benchmarksIn(const std::vector<Metrics> &rows)
 {

@@ -54,6 +54,14 @@ double suiteMean(const std::vector<Metrics> &rows, const std::string &suite,
 /** Distinct benchmark names (in order) of @p rows. */
 std::vector<std::string> benchmarksIn(const std::vector<Metrics> &rows);
 
+/**
+ * Tail-latency table (Section V-D): per benchmark and config, mean /
+ * p50 / p95 / p99 L1 miss latency plus the p99 ratio against
+ * @p base_config. Rendered from the Histogram2 percentiles in Metrics.
+ */
+std::string tailLatencyTable(const std::vector<Metrics> &rows,
+                             const std::string &base_config = "Base-2L");
+
 } // namespace d2m
 
 #endif // D2M_HARNESS_REPORT_HH

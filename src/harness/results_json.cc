@@ -67,6 +67,13 @@ metricsToJson(const Metrics &m)
     appendField(os, "near_hit_ratio_i", m.nearHitRatioI, first);
     appendField(os, "near_hit_ratio_d", m.nearHitRatioD, first);
     appendField(os, "avg_miss_latency", m.avgMissLatency, first);
+    appendField(os, "miss_latency_p50", m.missLatencyP50, first);
+    appendField(os, "miss_latency_p95", m.missLatencyP95, first);
+    appendField(os, "miss_latency_p99", m.missLatencyP99, first);
+    appendField(os, "access_latency_p99", m.accessLatencyP99, first);
+    appendField(os, "noc_delay_p99", m.nocDelayP99, first);
+    appendField(os, "avg_li_hops", m.avgLiHops, first);
+    appendField(os, "li_hops_p99", m.liHopsP99, first);
     appendField(os, "invalidations_received", m.invalidationsReceived,
                 first);
     appendField(os, "private_miss_pct", m.privateMissPct, first);
@@ -106,7 +113,8 @@ resultsJsonPath()
 }
 
 void
-exportRunJson(const Metrics &m, MemorySystem &system)
+exportRunJson(const Metrics &m, MemorySystem &system,
+              const obs::StatSnapshotter *intervals)
 {
     const std::string &path = resultsJsonPath();
     if (path.empty())
@@ -114,11 +122,15 @@ exportRunJson(const Metrics &m, MemorySystem &system)
 
     std::ostringstream stats;
     system.printJson(stats);
-    collectedRuns().push_back("{\"config\":" + json::quote(m.config) +
-                              ",\"suite\":" + json::quote(m.suite) +
-                              ",\"benchmark\":" + json::quote(m.benchmark) +
-                              ",\"metrics\":" + metricsToJson(m) +
-                              ",\"stats\":" + stats.str() + "}");
+    std::string row = "{\"config\":" + json::quote(m.config) +
+                      ",\"suite\":" + json::quote(m.suite) +
+                      ",\"benchmark\":" + json::quote(m.benchmark) +
+                      ",\"metrics\":" + metricsToJson(m) +
+                      ",\"stats\":" + stats.str();
+    if (intervals)
+        row += ",\"intervals\":" + intervals->rowsJson();
+    row += "}";
+    collectedRuns().push_back(std::move(row));
 
     // Rewrite the whole document so the file is always valid JSON.
     std::FILE *f = std::fopen(path.c_str(), "w");

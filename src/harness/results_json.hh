@@ -19,6 +19,7 @@
 #include <string>
 
 #include "harness/metrics.hh"
+#include "obs/snapshot.hh"
 
 namespace d2m
 {
@@ -30,9 +31,11 @@ std::string metricsToJson(const Metrics &m);
  * Record one finished run. When D2M_STATS_JSON names a file, the run's
  * metrics row plus @p system's full statistics tree are appended to it
  * (the accumulated document is rewritten atomically-enough for CI
- * consumption). No-op when the variable is unset.
+ * consumption). When @p intervals is non-null its rows are embedded as
+ * the run's "intervals" array. No-op when the variable is unset.
  */
-void exportRunJson(const Metrics &m, MemorySystem &system);
+void exportRunJson(const Metrics &m, MemorySystem &system,
+                   const obs::StatSnapshotter *intervals = nullptr);
 
 /** The D2M_STATS_JSON path ("" when disabled). */
 const std::string &resultsJsonPath();

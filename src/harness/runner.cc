@@ -6,6 +6,7 @@
 
 #include "common/env.hh"
 #include "harness/results_json.hh"
+#include "obs/snapshot.hh"
 
 namespace d2m
 {
@@ -30,9 +31,17 @@ runOne(ConfigKind kind, const NamedWorkload &wl, const SweepOptions &opts)
                                measured + warmup);
     RunOptions ropts = opts.runOptions;
     ropts.warmupInstsPerCore = warmup;
+    // Per-run interval stats (D2M_INTERVAL_INSTS / _TICKS / _CSV):
+    // the snapshotter attaches to this system's stats tree and is
+    // driven from the multicore loop through the global hook.
+    auto snapshotter = obs::StatSnapshotter::fromEnv(*system);
+    if (snapshotter)
+        obs::setGlobalSnapshotter(snapshotter.get());
     const RunResult run = runMulticore(*system, streams, ropts);
+    if (snapshotter)
+        obs::setGlobalSnapshotter(nullptr);
     Metrics m = collectMetrics(kind, wl.suite, wl.name, *system, run);
-    exportRunJson(m, *system);
+    exportRunJson(m, *system, snapshotter.get());
     if (run.valueErrors || run.invariantErrors) {
         std::fprintf(stderr,
                      "ERROR: %s/%s on %s: %llu value errors, %llu "

@@ -49,6 +49,9 @@ class Interconnect : public SimObject
           d2mMessages(this, "d2mMessages",
                       "D2M-only metadata messages (Fig 5 light bars)"),
           dataBytes(this, "dataBytes", "bytes of line-data payload"),
+          sendDelay(this, "sendDelay",
+                    "per-message NoC delay distribution (hop latency "
+                    "plus fault-injected queuing/retransmission delay)"),
           numNodes_(num_nodes), lineSize_(line_size),
           hopLatency_(hop_latency)
     {
@@ -106,6 +109,7 @@ class Interconnect : public SimObject
             }
             lat += f.extraLatency;
         }
+        sendDelay.sample(lat);
         return lat;
     }
 
@@ -149,6 +153,7 @@ class Interconnect : public SimObject
     stats::Counter totalBytes;
     stats::Counter d2mMessages;
     stats::Counter dataBytes;
+    stats::Histogram2 sendDelay;
 
   private:
     unsigned numNodes_;

@@ -39,7 +39,17 @@ struct GlobalSinkOwner
 
 struct EnvInit
 {
-    EnvInit() { initFromEnv(); }
+    EnvInit()
+    {
+        // Flush buffered records on every exit path: fatal()/panic()
+        // run crash hooks before dying (abort skips destructors), and
+        // atexit covers std::exit from third-party code. The hook and
+        // the owner's destructor both null-check and clear the
+        // buffer, so double flushes write nothing twice.
+        registerCrashHook(&flushGlobal);
+        std::atexit(&flushGlobal);
+        initFromEnv();
+    }
 } envInit;
 
 void
@@ -153,6 +163,9 @@ TraceSink::~TraceSink()
     flush();
     if (file_)
         std::fclose(file_);
+    // Detach so the atexit/crash-hook flush never touches a dead sink.
+    if (globalSink == this)
+        globalSink = nullptr;
 }
 
 void

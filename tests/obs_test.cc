@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -388,6 +389,65 @@ TEST(TraceReconcile, NocSendRecordsMatchStatsCounters)
     // Stats counter exactly, and warmup traffic must exist.
     EXPECT_EQ(after_reset, sys->noc().totalMessages.value());
     EXPECT_GT(total, after_reset);
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------- crash-time flush
+
+/** Read @p path, requiring every line to be valid JSON. */
+std::size_t
+countJsonlLines(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        std::string err;
+        EXPECT_TRUE(json::valid(line, err)) << line << ": " << err;
+    }
+    return lines;
+}
+
+TEST(TraceCrashFlushDeathTest, FatalFlushesBufferedRecords)
+{
+    const std::string path = "obs_test_crash_fatal.jsonl";
+    std::remove(path.c_str());
+    // The sink is created inside the death-test child so only that
+    // process owns the file; the buffered records would be lost on
+    // abnormal exit without the crash hook in fatal().
+    EXPECT_EXIT(
+        {
+            auto *sink = new obs::TraceSink(path, /*capacity=*/4096);
+            obs::setGlobalSink(sink);
+            debug::setCurTick(99);
+            for (int i = 0; i < 5; ++i)
+                obs::traceEvent(obs::TraceKind::NocSend, 1, 64, 2);
+            fatal("boom with %d records buffered", 5);
+        },
+        testing::ExitedWithCode(1), "boom with 5 records buffered");
+    EXPECT_EQ(countJsonlLines(path), 5u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCrashFlushDeathTest, AtexitFlushesOnPlainExit)
+{
+    const std::string path = "obs_test_crash_exit.jsonl";
+    std::remove(path.c_str());
+    // exit() skips the sink's destructor (it is heap-allocated and
+    // never freed here); the std::atexit hook must flush instead.
+    EXPECT_EXIT(
+        {
+            auto *sink = new obs::TraceSink(path, /*capacity=*/4096);
+            obs::setGlobalSink(sink);
+            debug::setCurTick(7);
+            for (int i = 0; i < 3; ++i)
+                obs::traceEvent(obs::TraceKind::CohUpgrade, 0, 0x40, 'B');
+            std::exit(0);
+        },
+        testing::ExitedWithCode(0), "");
+    EXPECT_EQ(countJsonlLines(path), 3u);
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CLI wrapper around obs::chromeTraceFromJsonl(): convert a TraceSink
+ * JSONL file (D2M_TRACE_FILE) into a Chrome trace_event JSON document
+ * loadable in chrome://tracing or ui.perfetto.dev.
+ *
+ * Usage: trace2chrome <trace.jsonl> <out.json>
+ *        trace2chrome - -          (stdin -> stdout)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "obs/chrome_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: %s <trace.jsonl> <out.json>\n"
+                     "       use \"-\" for stdin/stdout\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::string in = argv[1];
+    const std::string out = argv[2];
+    std::string err;
+    bool ok;
+    if (in == "-" && out == "-") {
+        ok = d2m::obs::chromeTraceFromJsonl(std::cin, std::cout, err);
+    } else {
+        ok = d2m::obs::convertTraceFile(in, out, err);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "trace2chrome: %s\n", err.c_str());
+        return 1;
+    }
+    return 0;
+}
