@@ -11,17 +11,9 @@ ClassicCache::ClassicCache(std::string name, SimObject *parent,
     : SimObject(std::move(name), parent),
       geom_(total_lines, assoc, line_shift),
       lines_(total_lines),
+      victimScratch_(assoc),
       repl_(makeReplacement(repl))
 {}
-
-std::vector<ClassicLine *>
-ClassicCache::setWays(std::uint32_t set)
-{
-    std::vector<ClassicLine *> ways(geom_.assoc());
-    for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
-        ways[w] = &lines_[set * geom_.assoc() + w];
-    return ways;
-}
 
 ClassicLine *
 ClassicCache::lookup(Addr line_addr)
@@ -64,16 +56,15 @@ ClassicLine &
 ClassicCache::victimFor(Addr line_addr)
 {
     const std::uint32_t set = geom_.setIndex(line_addr << geom_.unitShift());
-    auto ways = setWays(set);
-    for (auto *way : ways) {
-        if (!way->valid())
-            return *way;
+    ClassicLine *const base = &lines_[set * geom_.assoc()];
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+        if (!base[w].valid())
+            return base[w];
     }
-    std::vector<ReplState *> states(ways.size());
-    for (size_t i = 0; i < ways.size(); ++i)
-        states[i] = &ways[i]->repl;
-    const std::uint32_t victim = repl_->victim(states, nullptr);
-    return *eccChecked(ways[victim]);
+    for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
+        victimScratch_[w] = &base[w].repl;
+    const std::uint32_t victim = repl_->victim(victimScratch_, nullptr);
+    return *eccChecked(&base[victim]);
 }
 
 void

@@ -132,8 +132,6 @@ class ClassicCache : public SimObject
     void scrubAll();
 
   private:
-    std::vector<ClassicLine *> setWays(std::uint32_t set);
-
     /** Model the ECC check on a line handed to a reader. */
     ClassicLine *
     eccChecked(ClassicLine *line)
@@ -145,6 +143,8 @@ class ClassicCache : public SimObject
 
     SetAssocGeometry geom_;
     std::vector<ClassicLine> lines_;
+    /** Victim-selection scratch: no heap allocation per eviction. */
+    std::vector<ReplState *> victimScratch_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
     FaultInjector *faults_ = nullptr;

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace d2m
 {
@@ -29,9 +31,13 @@ namespace
 
 // Fixed-size registry: no dynamic allocation, immune to static
 // initialization order (zero-initialized before any registration).
+// Registration is mutex-guarded (parallel sweep jobs may init trace
+// sinks concurrently); the run-once latch is atomic so a crashing
+// worker cannot race another into double-running the hooks.
 CrashHook crashHooks[8];
 unsigned numCrashHooks = 0;
-bool crashHooksRan = false;
+std::mutex crashHooksMutex;
+std::atomic<bool> crashHooksRan{false};
 
 } // namespace
 
@@ -40,6 +46,7 @@ registerCrashHook(CrashHook hook)
 {
     if (!hook)
         return;
+    std::lock_guard<std::mutex> lock(crashHooksMutex);
     for (unsigned i = 0; i < numCrashHooks; ++i) {
         if (crashHooks[i] == hook)
             return;  // idempotent
@@ -51,10 +58,10 @@ registerCrashHook(CrashHook hook)
 void
 runCrashHooks()
 {
-    // A hook that itself panics must not recurse into the registry.
-    if (crashHooksRan)
+    // A hook that itself panics must not recurse into the registry,
+    // and only one crashing thread gets to run the hooks.
+    if (crashHooksRan.exchange(true))
         return;
-    crashHooksRan = true;
     for (unsigned i = 0; i < numCrashHooks; ++i)
         crashHooks[i]();
 }
@@ -84,10 +91,11 @@ warnImpl(const std::string &msg)
 bool
 WarnLimit::allow()
 {
-    ++count_;
-    if (count_ <= limit_)
+    const std::uint64_t n =
+        count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n <= limit_)
         return true;
-    if (count_ == limit_ + 1) {
+    if (n == limit_ + 1) {
         std::fprintf(stderr,
                      "warn: (suppressing further identical warnings "
                      "after %llu)\n",

@@ -15,6 +15,7 @@
 #ifndef D2M_COMMON_LOGGING_HH
 #define D2M_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -49,7 +50,9 @@ void registerCrashHook(CrashHook hook);
 /** Run all registered hooks once; reentrant calls are no-ops. */
 void runCrashHooks();
 
-/** Per-call-site warning budget backing warn_limited(). */
+/** Per-call-site warning budget backing warn_limited(). The counter
+ * is atomic: call sites are static and may be hit from concurrent
+ * sweep jobs (harness/pool.hh). */
 class WarnLimit
 {
   public:
@@ -59,15 +62,21 @@ class WarnLimit
      * notice the first time the budget is exceeded. */
     bool allow();
 
-    std::uint64_t count() const { return count_; }
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
     std::uint64_t
     suppressed() const
     {
-        return count_ > limit_ ? count_ - limit_ : 0;
+        const std::uint64_t n = count();
+        return n > limit_ ? n - limit_ : 0;
     }
 
   private:
-    std::uint64_t count_ = 0;
+    std::atomic<std::uint64_t> count_{0};
     std::uint64_t limit_;
 };
 
@@ -84,14 +93,14 @@ class WarnLimit
 /** Warn about suspicious but non-fatal behavior. */
 #define warn(...) ::d2m::warnImpl(::d2m::vformat(__VA_ARGS__))
 
-/** warn() at most once per call site. */
-#define warn_once(...)                     \
-    do {                                   \
-        static bool _d2m_warned = false;   \
-        if (!_d2m_warned) {                \
-            _d2m_warned = true;            \
-            warn(__VA_ARGS__);             \
-        }                                  \
+/** warn() at most once per call site (thread-safe: parallel sweep
+ * jobs share the per-site flag). */
+#define warn_once(...)                                          \
+    do {                                                        \
+        static ::std::atomic<bool> _d2m_warned{false};          \
+        if (!_d2m_warned.exchange(true,                         \
+                                  ::std::memory_order_relaxed)) \
+            warn(__VA_ARGS__);                                  \
     } while (0)
 
 /** warn() at most @p n times per call site, then suppress with a

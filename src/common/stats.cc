@@ -138,22 +138,6 @@ Histogram2::Histogram2(StatGroup *parent, std::string name,
              "Histogram2 sub_bits must be in [1, 16]");
 }
 
-std::size_t
-Histogram2::bucketIndex(std::uint64_t v) const
-{
-    // Values below 2^sub_bits get one exact bucket each; above, the
-    // top sub_bits bits after the leading one select a linear
-    // sub-bucket within the value's power-of-two range.
-    if ((v >> subBits_) == 0)
-        return static_cast<std::size_t>(v);
-    const unsigned k = 63 - static_cast<unsigned>(std::countl_zero(v));
-    const unsigned shift = k - subBits_;
-    const std::uint64_t sub = (v >> shift) & ((std::uint64_t(1)
-                                               << subBits_) - 1);
-    return ((static_cast<std::size_t>(k) - subBits_ + 1) << subBits_) +
-           static_cast<std::size_t>(sub);
-}
-
 std::uint64_t
 Histogram2::bucketLow(std::size_t idx) const
 {
@@ -174,19 +158,6 @@ Histogram2::bucketHigh(std::size_t idx) const
         return idx;
     const unsigned shift = static_cast<unsigned>(idx >> subBits_) - 1;
     return bucketLow(idx) + ((std::uint64_t(1) << shift) - 1);
-}
-
-void
-Histogram2::sample(std::uint64_t v, std::uint64_t weight)
-{
-    const std::size_t idx = bucketIndex(v);
-    if (idx >= buckets_.size())
-        buckets_.resize(idx + 1, 0);
-    buckets_[idx] += weight;
-    samples_ += weight;
-    sum_ += static_cast<double>(v) * static_cast<double>(weight);
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
 }
 
 double

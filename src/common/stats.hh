@@ -10,6 +10,8 @@
 #ifndef D2M_COMMON_STATS_HH
 #define D2M_COMMON_STATS_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -156,7 +158,20 @@ class Histogram2 : public StatBase
     Histogram2(StatGroup *parent, std::string name, std::string desc,
                unsigned sub_bits = 4);
 
-    void sample(std::uint64_t v, std::uint64_t weight = 1);
+    // Inline: sampled once or more per simulated memory access, which
+    // makes the out-of-line call visible in whole-run profiles.
+    void
+    sample(std::uint64_t v, std::uint64_t weight = 1)
+    {
+        const std::size_t idx = bucketIndex(v);
+        if (idx >= buckets_.size()) [[unlikely]]
+            buckets_.resize(idx + 1, 0);
+        buckets_[idx] += weight;
+        samples_ += weight;
+        sum_ += static_cast<double>(v) * static_cast<double>(weight);
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
 
     std::uint64_t totalSamples() const { return samples_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
@@ -186,7 +201,22 @@ class Histogram2 : public StatBase
     std::uint64_t snapshotValue() const override { return samples_; }
 
   private:
-    std::size_t bucketIndex(std::uint64_t v) const;
+    std::size_t
+    bucketIndex(std::uint64_t v) const
+    {
+        // Values below 2^sub_bits get one exact bucket each; above,
+        // the top sub_bits bits after the leading one select a linear
+        // sub-bucket within the value's power-of-two range.
+        if ((v >> subBits_) == 0)
+            return static_cast<std::size_t>(v);
+        const unsigned k = 63 - static_cast<unsigned>(std::countl_zero(v));
+        const unsigned shift = k - subBits_;
+        const std::uint64_t sub =
+            (v >> shift) & ((std::uint64_t(1) << subBits_) - 1);
+        return ((static_cast<std::size_t>(k) - subBits_ + 1)
+                << subBits_) +
+               static_cast<std::size_t>(sub);
+    }
 
     unsigned subBits_;
     std::vector<std::uint64_t> buckets_;  //!< Grown on demand.

@@ -44,7 +44,9 @@ runMulticore(MemorySystem &system,
             warm = true;
             // Close the in-flight warmup interval against the
             // pre-reset counters before they vanish.
-            obs::intervalStatsReset(total_committed, debug::curTick);
+            if (opts.snapshotter) [[unlikely]]
+                opts.snapshotter->statsReset(total_committed,
+                                             debug::curTick);
             system.resetStats();
             profiler.phaseReset();
             // Marker so post-warmup aggregates recomputed from the
@@ -110,7 +112,8 @@ runMulticore(MemorySystem &system,
                         res.latency, res.l1Miss);
         ++result.accesses;
         result.totalAccessLatency += res.latency;
-        obs::intervalTick(total_committed, core.now());
+        if (opts.snapshotter) [[unlikely]]
+            opts.snapshotter->tick(total_committed, core.now());
 
         if (merged) {
             // Access landed in an open miss window: a "late hit"
@@ -180,7 +183,8 @@ runMulticore(MemorySystem &system,
     // Close the last partial interval with absolute stamps (before
     // the warmup offsets are subtracted below) so interval tick/inst
     // ranges stay monotonic across the whole run.
-    obs::intervalFinish(total_committed, result.cycles);
+    if (opts.snapshotter) [[unlikely]]
+        opts.snapshotter->finish(total_committed, result.cycles);
     result.cycles -= std::min(result.cycles, cycles_at_reset);
     result.instructions -= std::min(result.instructions, insts_at_reset);
 

@@ -22,6 +22,8 @@
 #include "mem/golden_memory.hh"
 #include "workload/stream.hh"
 
+namespace d2m::obs { class StatSnapshotter; }
+
 namespace d2m
 {
 
@@ -61,6 +63,12 @@ struct RunOptions
      * region-of-interest / sampled simulation, Section V-A).
      */
     std::uint64_t warmupInstsPerCore = 0;
+    /**
+     * Interval-stats collector for THIS run (null = disabled). Owned
+     * by the caller; carried per run instead of through a global hook
+     * so concurrent sweep jobs never share snapshot state.
+     */
+    obs::StatSnapshotter *snapshotter = nullptr;
 };
 
 /** Drive @p streams (one per node) to completion on @p system. */

@@ -23,8 +23,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/params.hh"
 #include "common/types.hh"
 
@@ -226,7 +226,7 @@ class OooModel
     std::uint64_t instSeq_ = 0;
     std::deque<Entry> rob_;      //!< Incomplete accesses, program order.
     std::deque<Tick> inflight_;  //!< MSHR completion times (FIFO).
-    std::unordered_map<Addr, Tick> outstanding_;  //!< line -> completion.
+    FlatMap<Addr, Tick> outstanding_;  //!< line -> completion.
 };
 
 } // namespace d2m

@@ -49,6 +49,7 @@ class RegionStore : public SimObject
         fatal_if(!isPowerOf2(sets_), "region store sets must be 2^k");
         assoc_ = assoc;
         entries_.resize(entries);
+        victimScratch_.resize(assoc_);
         repl_ = makeReplacement(repl);
     }
 
@@ -117,13 +118,12 @@ class RegionStore : public SimObject
             if (!e.valid)
                 return e;
         }
-        std::vector<ReplState *> states(assoc_);
         for (std::uint32_t w = 0; w < assoc_; ++w)
-            states[w] = &entries_[set * assoc_ + w].repl;
+            victimScratch_[w] = &entries_[set * assoc_ + w].repl;
         auto cost = [&](std::uint32_t w) {
             return cost_of ? cost_of(entries_[set * assoc_ + w]) : 0.0;
         };
-        const std::uint32_t w = repl_->victim(states, cost);
+        const std::uint32_t w = repl_->victim(victimScratch_, cost);
         Entry &victim = entries_[set * assoc_ + w];
         // A corrupted victim must be recovered before its LIs are
         // consumed by the eviction path.
@@ -217,6 +217,9 @@ class RegionStore : public SimObject
     std::uint32_t sets_ = 0;
     std::uint32_t assoc_ = 0;
     std::vector<Entry> entries_;
+    /** Per-set victim-selection scratch: avoids one heap allocation on
+     * every eviction (the stores sit on the miss path). */
+    std::vector<ReplState *> victimScratch_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
     std::function<void(Entry &)> parityHandler_;

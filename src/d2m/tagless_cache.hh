@@ -87,7 +87,8 @@ class TaglessCache : public SimObject
                  unsigned line_shift, bool scrambled = false)
         : SimObject(std::move(name), parent),
           geom_(total_lines, assoc, line_shift), lines_(total_lines),
-          repl_(makeReplacement(ReplKind::LRU)), scrambled_(scrambled)
+          victimScratch_(assoc), repl_(makeReplacement(ReplKind::LRU)),
+          scrambled_(scrambled)
     {}
 
     /** Set index for @p line_addr under region scramble @p scramble. */
@@ -148,10 +149,9 @@ class TaglessCache : public SimObject
             if (!at(set, w).valid)
                 return w;
         }
-        std::vector<ReplState *> states(geom_.assoc());
         for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
-            states[w] = &at(set, w).repl;
-        return repl_->victim(states, nullptr);
+            victimScratch_[w] = &at(set, w).repl;
+        return repl_->victim(victimScratch_, nullptr);
     }
 
     /** @return true if (set, way) holds the MRU line of its set —
@@ -193,6 +193,8 @@ class TaglessCache : public SimObject
 
     SetAssocGeometry geom_;
     std::vector<TaglessLine> lines_;
+    /** Victim-selection scratch: no heap allocation per eviction. */
+    std::vector<ReplState *> victimScratch_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
     bool scrambled_ = false;

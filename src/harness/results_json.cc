@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -14,13 +16,27 @@ namespace d2m
 namespace
 {
 
-/** Accumulated rows for this process ("runs" array elements). */
-std::vector<std::string> &
+/**
+ * Accumulated rows for this process, keyed by output slot. A map
+ * (not a vector) because parallel jobs fill reserved slots out of
+ * completion order; iteration yields the deterministic serial order.
+ * All access happens under runsMutex().
+ */
+std::map<std::uint64_t, std::string> &
 collectedRuns()
 {
-    static std::vector<std::string> runs;
+    static std::map<std::uint64_t, std::string> runs;
     return runs;
 }
+
+std::mutex &
+runsMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::uint64_t nextRunSlot = 0;  //!< Guarded by runsMutex().
 
 void
 appendField(std::ostringstream &os, const char *key, double v, bool &first)
@@ -112,9 +128,18 @@ resultsJsonPath()
     return path;
 }
 
+std::uint64_t
+reserveRunSlots(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(runsMutex());
+    const std::uint64_t first = nextRunSlot;
+    nextRunSlot += n;
+    return first;
+}
+
 void
 exportRunJson(const Metrics &m, MemorySystem &system,
-              const obs::StatSnapshotter *intervals)
+              const obs::StatSnapshotter *intervals, std::uint64_t slot)
 {
     const std::string &path = resultsJsonPath();
     if (path.empty())
@@ -130,7 +155,11 @@ exportRunJson(const Metrics &m, MemorySystem &system,
     if (intervals)
         row += ",\"intervals\":" + intervals->rowsJson();
     row += "}";
-    collectedRuns().push_back(std::move(row));
+
+    std::lock_guard<std::mutex> lock(runsMutex());
+    if (slot == kRunSlotAppend)
+        slot = nextRunSlot++;
+    collectedRuns()[slot] = std::move(row);
 
     // Rewrite the whole document so the file is always valid JSON.
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -140,9 +169,10 @@ exportRunJson(const Metrics &m, MemorySystem &system,
     }
     std::fputs("{\"runs\":[\n", f);
     const auto &runs = collectedRuns();
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        std::fputs(runs[i].c_str(), f);
-        std::fputs(i + 1 < runs.size() ? ",\n" : "\n", f);
+    std::size_t i = 0;
+    for (const auto &[_, run] : runs) {
+        std::fputs(run.c_str(), f);
+        std::fputs(++i < runs.size() ? ",\n" : "\n", f);
     }
     std::fputs("]}\n", f);
     std::fclose(f);

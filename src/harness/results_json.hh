@@ -16,6 +16,7 @@
 #ifndef D2M_HARNESS_RESULTS_JSON_HH
 #define D2M_HARNESS_RESULTS_JSON_HH
 
+#include <cstdint>
 #include <string>
 
 #include "harness/metrics.hh"
@@ -27,15 +28,33 @@ namespace d2m
 /** One Metrics row as a JSON object (deterministic field order). */
 std::string metricsToJson(const Metrics &m);
 
+/** exportRunJson slot meaning "append after all reserved slots". */
+inline constexpr std::uint64_t kRunSlotAppend = ~std::uint64_t(0);
+
+/**
+ * Reserve @p n consecutive output slots in the "runs" array and
+ * return the first one. The sweep runner reserves one slot per run
+ * up front (in serial order), then parallel jobs export into their
+ * assigned slot — so the emitted document is identical no matter
+ * which order jobs finish in.
+ */
+std::uint64_t reserveRunSlots(std::size_t n);
+
 /**
  * Record one finished run. When D2M_STATS_JSON names a file, the run's
- * metrics row plus @p system's full statistics tree are appended to it
+ * metrics row plus @p system's full statistics tree are added to it
  * (the accumulated document is rewritten atomically-enough for CI
  * consumption). When @p intervals is non-null its rows are embedded as
  * the run's "intervals" array. No-op when the variable is unset.
+ *
+ * @p slot orders the row within the document: pass a slot obtained
+ * from reserveRunSlots() for deterministic ordering, or
+ * kRunSlotAppend to place the row after everything reserved so far.
+ * Thread-safe.
  */
 void exportRunJson(const Metrics &m, MemorySystem &system,
-                   const obs::StatSnapshotter *intervals = nullptr);
+                   const obs::StatSnapshotter *intervals = nullptr,
+                   std::uint64_t slot = kRunSlotAppend);
 
 /** The D2M_STATS_JSON path ("" when disabled). */
 const std::string &resultsJsonPath();

@@ -3,16 +3,45 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "common/env.hh"
+#include "common/logging.hh"
+#include "harness/pool.hh"
 #include "harness/results_json.hh"
 #include "obs/snapshot.hh"
+#include "obs/trace.hh"
 
 namespace d2m
 {
 
+namespace
+{
+
+/** Per-run plumbing that the sweep drives but a single run doesn't. */
+struct RunContext
+{
+    /** Output slot in the D2M_STATS_JSON "runs" array. */
+    std::uint64_t slot = kRunSlotAppend;
+    /** Suffix for per-job observability files ("" = plain names). */
+    std::string obsSuffix;
+    /** When non-null, messages buffer here instead of stderr so a
+     * parallel job's output flushes as one contiguous block. */
+    std::string *log = nullptr;
+};
+
+void
+emit(const RunContext &ctx, const std::string &line)
+{
+    if (ctx.log)
+        *ctx.log += line;
+    else
+        std::fputs(line.c_str(), stderr);
+}
+
 Metrics
-runOne(ConfigKind kind, const NamedWorkload &wl, const SweepOptions &opts)
+runOneImpl(ConfigKind kind, const NamedWorkload &wl,
+           const SweepOptions &opts, const RunContext &ctx)
 {
     auto system = makeSystem(kind, opts.baseParams);
 
@@ -32,27 +61,59 @@ runOne(ConfigKind kind, const NamedWorkload &wl, const SweepOptions &opts)
     RunOptions ropts = opts.runOptions;
     ropts.warmupInstsPerCore = warmup;
     // Per-run interval stats (D2M_INTERVAL_INSTS / _TICKS / _CSV):
-    // the snapshotter attaches to this system's stats tree and is
-    // driven from the multicore loop through the global hook.
-    auto snapshotter = obs::StatSnapshotter::fromEnv(*system);
-    if (snapshotter)
-        obs::setGlobalSnapshotter(snapshotter.get());
+    // the snapshotter attaches to this system's stats tree and rides
+    // through RunOptions, so concurrent runs never share one.
+    auto snapshotter = obs::StatSnapshotter::fromEnv(*system,
+                                                     ctx.obsSuffix);
+    ropts.snapshotter = snapshotter.get();
     const RunResult run = runMulticore(*system, streams, ropts);
-    if (snapshotter)
-        obs::setGlobalSnapshotter(nullptr);
     Metrics m = collectMetrics(kind, wl.suite, wl.name, *system, run);
-    exportRunJson(m, *system, snapshotter.get());
+    exportRunJson(m, *system, snapshotter.get(), ctx.slot);
     if (run.valueErrors || run.invariantErrors) {
-        std::fprintf(stderr,
-                     "ERROR: %s/%s on %s: %llu value errors, %llu "
-                     "invariant errors: %s\n",
-                     wl.suite.c_str(), wl.name.c_str(),
-                     configKindName(kind),
-                     static_cast<unsigned long long>(run.valueErrors),
-                     static_cast<unsigned long long>(run.invariantErrors),
-                     run.firstError.c_str());
+        emit(ctx, vformat(
+                 "ERROR: %s/%s on %s: %llu value errors, %llu "
+                 "invariant errors: %s\n",
+                 wl.suite.c_str(), wl.name.c_str(), configKindName(kind),
+                 static_cast<unsigned long long>(run.valueErrors),
+                 static_cast<unsigned long long>(run.invariantErrors),
+                 run.firstError.c_str()));
     }
     return m;
+}
+
+/**
+ * Effective job count for a sweep of @p total runs. Auto (opts.jobs
+ * == 0) stays serial when a single-file observability output is
+ * configured and D2M_JOBS doesn't explicitly override — an existing
+ * `D2M_TRACE_FILE=t.jsonl ./d2m_sweep` invocation keeps producing
+ * exactly the file it always did.
+ */
+unsigned
+resolveJobs(const SweepOptions &opts, std::size_t total)
+{
+    unsigned jobs = opts.jobs;
+    if (jobs == 0) {
+        if (envU64("D2M_JOBS", 0) > 0) {
+            jobs = WorkStealingPool::defaultJobs();
+        } else {
+            const char *csv = std::getenv("D2M_INTERVAL_CSV");
+            if (!obs::traceFilePath().empty() || (csv && *csv))
+                jobs = 1;
+            else
+                jobs = WorkStealingPool::defaultJobs();
+        }
+    }
+    if (total < jobs)
+        jobs = total ? static_cast<unsigned>(total) : 1;
+    return jobs;
+}
+
+} // namespace
+
+Metrics
+runOne(ConfigKind kind, const NamedWorkload &wl, const SweepOptions &opts)
+{
+    return runOneImpl(kind, wl, opts, RunContext{});
 }
 
 std::vector<Metrics>
@@ -60,18 +121,41 @@ runSweep(const std::vector<ConfigKind> &configs,
          const std::vector<NamedWorkload> &workloads,
          const SweepOptions &opts)
 {
-    std::vector<Metrics> rows;
-    rows.reserve(configs.size() * workloads.size());
-    for (const auto &wl : workloads) {
-        for (ConfigKind kind : configs) {
+    struct JobSpec
+    {
+        ConfigKind kind;
+        const NamedWorkload *wl;
+    };
+    std::vector<JobSpec> specs;
+    specs.reserve(configs.size() * workloads.size());
+    // Workload-major order, matching the historical serial loop: this
+    // order defines the output slots, so the rows (and the
+    // D2M_STATS_JSON document) come out identical however the jobs
+    // are scheduled.
+    for (const auto &wl : workloads)
+        for (ConfigKind kind : configs)
+            specs.push_back({kind, &wl});
+
+    std::vector<Metrics> rows(specs.size());
+    if (specs.empty())
+        return rows;
+    const std::uint64_t baseSlot = reserveRunSlots(specs.size());
+    const unsigned jobs = resolveJobs(opts, specs.size());
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const JobSpec &spec = specs[i];
             if (opts.verbose) {
                 std::fprintf(stderr, "  running %-10s %-14s on %s...\n",
-                             wl.suite.c_str(), wl.name.c_str(),
-                             configKindName(kind));
+                             spec.wl->suite.c_str(),
+                             spec.wl->name.c_str(),
+                             configKindName(spec.kind));
             }
-            rows.push_back(runOne(kind, wl, opts));
+            RunContext ctx;
+            ctx.slot = baseSlot + i;
+            rows[i] = runOneImpl(spec.kind, *spec.wl, opts, ctx);
             if (opts.verbose) {
-                const Metrics &m = rows.back();
+                const Metrics &m = rows[i];
                 std::fprintf(stderr,
                              "    %.0f KIPS (warmup %.1fs, measure "
                              "%.1fs)\n",
@@ -79,8 +163,81 @@ runSweep(const std::vector<ConfigKind> &configs,
                              m.measureWallSec);
             }
         }
+        return rows;
     }
+
+    WorkStealingPool pool(jobs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        pool.submit([&, i] {
+            const JobSpec &spec = specs[i];
+            RunContext ctx;
+            ctx.slot = baseSlot + i;
+            std::string log;
+            ctx.log = &log;
+            // Per-job observability files: job N of this sweep writes
+            // <path>.jobN so concurrent runs never share a sink.
+            ctx.obsSuffix = ".job" + std::to_string(i);
+            std::unique_ptr<obs::TraceSink> sink;
+            obs::TraceSink *prevSink = nullptr;
+            if (!obs::traceFilePath().empty()) {
+                sink = std::make_unique<obs::TraceSink>(
+                    obs::traceFilePath() + ctx.obsSuffix,
+                    obs::traceBufCapacity());
+                prevSink = obs::setGlobalSink(sink.get());
+            }
+            if (opts.verbose) {
+                log += vformat("  running %-10s %-14s on %s...\n",
+                               spec.wl->suite.c_str(),
+                               spec.wl->name.c_str(),
+                               configKindName(spec.kind));
+            }
+            rows[i] = runOneImpl(spec.kind, *spec.wl, opts, ctx);
+            if (opts.verbose) {
+                const Metrics &m = rows[i];
+                log += vformat("    %.0f KIPS (warmup %.1fs, measure "
+                               "%.1fs)\n",
+                               m.simKips, m.warmupWallSec,
+                               m.measureWallSec);
+            }
+            if (sink) {
+                sink.reset();  // flush + close before detaching
+                obs::setGlobalSink(prevSink);
+            }
+            // One write call per job: POSIX stderr is unbuffered, so
+            // the block lands contiguously even across processes.
+            if (!log.empty())
+                std::fputs(log.c_str(), stderr);
+        });
+    }
+    pool.wait();
     return rows;
+}
+
+bool
+matchesFilter(const std::string &value, const std::string &spec)
+{
+    if (spec.empty())
+        return true;
+    bool sawPattern = false;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;  // tolerate "a,,b" and trailing commas
+        sawPattern = true;
+        if (tok[0] == '=') {
+            if (value == tok.substr(1))
+                return true;
+        } else if (value.find(tok) != std::string::npos) {
+            return true;
+        }
+    }
+    // A spec of only separators ("," or ",,") constrains nothing.
+    return !sawPattern;
 }
 
 std::vector<NamedWorkload>
@@ -92,9 +249,9 @@ filteredWorkloads(std::vector<NamedWorkload> workloads)
         return workloads;
     std::vector<NamedWorkload> out;
     for (auto &wl : workloads) {
-        if (suite && wl.suite.find(suite) == std::string::npos)
+        if (suite && !matchesFilter(wl.suite, suite))
             continue;
-        if (bench && wl.name.find(bench) == std::string::npos)
+        if (bench && !matchesFilter(wl.name, bench))
             continue;
         out.push_back(wl);
     }

@@ -2,11 +2,18 @@
  * @file
  * Experiment runner: executes (configuration x benchmark) sweeps and
  * collects Metrics rows for the report printers.
+ *
+ * Sweeps run in parallel on a work-stealing pool (harness/pool.hh):
+ * every run builds its own MemorySystem, streams and golden memory,
+ * so jobs share no mutable state (DESIGN.md §12). Results are
+ * bit-identical to a serial sweep and emitted in the same
+ * workload-major order regardless of which job finishes first.
  */
 
 #ifndef D2M_HARNESS_RUNNER_HH
 #define D2M_HARNESS_RUNNER_HH
 
+#include <string>
 #include <vector>
 
 #include "harness/metrics.hh"
@@ -25,6 +32,15 @@ struct SweepOptions
      * overrides). */
     std::uint64_t warmupInstsPerCore = ~std::uint64_t(0);
     bool verbose = true;             //!< Progress lines to stderr.
+    /**
+     * Concurrent sweep jobs. 0 = auto: D2M_JOBS if set, else serial
+     * when a single-file observability output is configured
+     * (D2M_TRACE_FILE / D2M_INTERVAL_CSV, whose file names stay
+     * byte-compatible that way), else the hardware thread count.
+     * With jobs > 1 and tracing enabled, each run writes
+     * <trace>.job<N> / <csv>.job<N> instead.
+     */
+    unsigned jobs = 0;
     RunOptions runOptions{};
 };
 
@@ -37,7 +53,18 @@ std::vector<Metrics> runSweep(const std::vector<ConfigKind> &configs,
                               const std::vector<NamedWorkload> &workloads,
                               const SweepOptions &opts = {});
 
-/** Filter by env D2M_SUITE_FILTER / D2M_BENCH_FILTER (substring). */
+/**
+ * @return true when @p value matches the filter @p spec.
+ *
+ * @p spec is a comma-separated list of patterns; the value matches if
+ * any pattern does. A pattern is a substring match, or an exact match
+ * when prefixed with '=' ("=fft" matches "fft" but not "fft2d").
+ * An empty spec (or one of only empty tokens) matches everything.
+ */
+bool matchesFilter(const std::string &value, const std::string &spec);
+
+/** Filter by env D2M_SUITE_FILTER / D2M_BENCH_FILTER; each accepts a
+ * comma-separated pattern list, see matchesFilter(). */
 std::vector<NamedWorkload>
 filteredWorkloads(std::vector<NamedWorkload> workloads);
 

@@ -13,8 +13,8 @@
 #define D2M_MEM_GOLDEN_MEMORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace d2m
@@ -43,7 +43,7 @@ class GoldenMemory
     std::size_t linesTouched() const { return values_.size(); }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> values_;
+    FlatMap<Addr, std::uint64_t> values_;
 };
 
 } // namespace d2m

@@ -8,8 +8,8 @@
 #define D2M_MEM_MAIN_MEMORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
 
@@ -55,7 +55,7 @@ class MainMemory : public SimObject
     stats::Counter writes;
 
   private:
-    std::unordered_map<Addr, std::uint64_t> values_;
+    FlatMap<Addr, std::uint64_t> values_;
 };
 
 } // namespace d2m

@@ -12,10 +12,9 @@
 #define D2M_MEM_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "mem/geometry.hh"
 #include "sim/sim_object.hh"
@@ -55,10 +54,8 @@ class PageTable
         std::uint64_t frame;
         if (mode_ == Mode::Identity) {
             frame = vpage + (std::uint64_t(asid) << 24);
-            if (touched_.insert((std::uint64_t(asid) << 40) ^ vpage)
-                    .second) {
+            if (touched_.insert((std::uint64_t(asid) << 40) ^ vpage))
                 ++pages_;
-            }
         } else {
             const Key key{asid, vpage};
             auto it = map_.find(key);
@@ -86,11 +83,10 @@ class PageTable
 
     struct KeyHash
     {
-        size_t
+        std::uint64_t
         operator()(const Key &k) const
         {
-            return std::hash<std::uint64_t>()(
-                (std::uint64_t(k.asid) << 48) ^ k.vpage);
+            return flatHashMix((std::uint64_t(k.asid) << 48) ^ k.vpage);
         }
     };
 
@@ -98,8 +94,8 @@ class PageTable
     Mode mode_;
     std::uint64_t nextFrame_ = 1;  // frame 0 reserved
     std::uint64_t pages_ = 0;
-    std::unordered_map<Key, std::uint64_t, KeyHash> map_;
-    std::unordered_set<std::uint64_t> touched_;
+    FlatMap<Key, std::uint64_t, KeyHash> map_;
+    FlatSet<std::uint64_t> touched_;
 };
 
 /**
@@ -150,7 +146,7 @@ class Tlb : public SimObject
     unsigned entries_;
     unsigned pageShift_;
     std::uint64_t clock_ = 0;
-    std::unordered_map<std::uint64_t, std::uint64_t> lru_;
+    FlatMap<std::uint64_t, std::uint64_t> lru_;
 };
 
 } // namespace d2m

@@ -75,8 +75,10 @@ const char *allFlagNames();
  * The current simulated tick, maintained by the execution driver
  * (cpu/multicore.cc) so trace lines and trace records can be stamped
  * from anywhere without threading a clock through every call.
+ * thread_local: each parallel sweep job (harness/pool.hh) drives its
+ * own system with its own clock.
  */
-extern Tick curTick;
+extern thread_local Tick curTick;
 
 inline void setCurTick(Tick t) { curTick = t; }
 

@@ -9,8 +9,6 @@
 namespace d2m::obs
 {
 
-StatSnapshotter *globalSnapshotter = nullptr;
-
 namespace
 {
 
@@ -55,20 +53,19 @@ StatSnapshotter::StatSnapshotter(stats::StatGroup &root, Config cfg)
 
 StatSnapshotter::~StatSnapshotter()
 {
-    if (globalSnapshotter == this)
-        globalSnapshotter = nullptr;
     if (csv_)
         std::fclose(csv_);
 }
 
 std::unique_ptr<StatSnapshotter>
-StatSnapshotter::fromEnv(stats::StatGroup &root)
+StatSnapshotter::fromEnv(stats::StatGroup &root,
+                         const std::string &csv_suffix)
 {
     Config cfg;
     cfg.everyInsts = envU64("D2M_INTERVAL_INSTS", 0);
     cfg.everyTicks = envU64("D2M_INTERVAL_TICKS", 0);
     if (const char *csv = std::getenv("D2M_INTERVAL_CSV"); csv && *csv)
-        cfg.csvPath = csv;
+        cfg.csvPath = csv + csv_suffix;
     if (cfg.everyInsts == 0 && cfg.everyTicks == 0) {
         fatal_if(!cfg.csvPath.empty(),
                  "D2M_INTERVAL_CSV requires D2M_INTERVAL_INSTS or "
@@ -195,14 +192,6 @@ StatSnapshotter::rowsJson() const
     }
     out += "]";
     return out;
-}
-
-StatSnapshotter *
-setGlobalSnapshotter(StatSnapshotter *snap)
-{
-    StatSnapshotter *old = globalSnapshotter;
-    globalSnapshotter = snap;
-    return old;
 }
 
 } // namespace d2m::obs

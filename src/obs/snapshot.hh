@@ -21,7 +21,8 @@
  *  - The final partial interval is closed at run end.
  *
  * The per-access cost when disabled is one inlined null check
- * (intervalTick below), mirroring the traceEvent() discipline.
+ * (a null check on RunOptions::snapshotter in the multicore loop),
+ * mirroring the traceEvent() discipline.
  */
 
 #ifndef D2M_OBS_SNAPSHOT_HH
@@ -74,9 +75,11 @@ class StatSnapshotter
      * Build a snapshotter from D2M_INTERVAL_INSTS / D2M_INTERVAL_TICKS
      * / D2M_INTERVAL_CSV, or null when interval stats are disabled.
      * D2M_INTERVAL_CSV without a period is a fatal config error.
+     * @p csv_suffix is appended to the CSV path — the parallel runner
+     * passes ".job<N>" so concurrent jobs write distinct files.
      */
     static std::unique_ptr<StatSnapshotter>
-    fromEnv(stats::StatGroup &root);
+    fromEnv(stats::StatGroup &root, const std::string &csv_suffix = "");
 
     /** Progress hook; closes an interval when a boundary is crossed. */
     void tick(std::uint64_t insts, Tick now);
@@ -116,35 +119,11 @@ class StatSnapshotter
     std::FILE *csv_ = nullptr;
 };
 
-/** Global snapshotter; null when interval stats are disabled. */
-extern StatSnapshotter *globalSnapshotter;
-
-/** Attach @p snap as the global snapshotter (returns the old one). */
-StatSnapshotter *setGlobalSnapshotter(StatSnapshotter *snap);
-
-/** Per-access progress hook: one inlined branch when disabled. */
-inline void
-intervalTick(std::uint64_t insts, Tick now)
-{
-    if (globalSnapshotter) [[unlikely]]
-        globalSnapshotter->tick(insts, now);
-}
-
-/** Warmup-boundary hook; call right before system.resetStats(). */
-inline void
-intervalStatsReset(std::uint64_t insts, Tick now)
-{
-    if (globalSnapshotter) [[unlikely]]
-        globalSnapshotter->statsReset(insts, now);
-}
-
-/** Run-end hook; closes the last partial interval. */
-inline void
-intervalFinish(std::uint64_t insts, Tick now)
-{
-    if (globalSnapshotter) [[unlikely]]
-        globalSnapshotter->finish(insts, now);
-}
+// There is deliberately NO global snapshotter hook: each run carries
+// its snapshotter through RunOptions::snapshotter (cpu/multicore.hh),
+// which keeps concurrent sweep jobs fully independent. The execution
+// driver null-checks the pointer per access, matching the one-branch
+// cost the old global hook had.
 
 } // namespace d2m::obs
 

@@ -11,10 +11,15 @@
 namespace d2m::obs
 {
 
-TraceSink *globalSink = nullptr;
+thread_local TraceSink *globalSink = nullptr;
 
 namespace
 {
+
+// Env config cached once at startup so worker threads can build
+// per-job sinks without re-reading (and re-validating) the env.
+std::string envTracePath;
+std::size_t envTraceBuf = 8192;
 
 constexpr const char *kKindNames[] = {
     "access_issue", "access_complete", "li_hop", "region_class",
@@ -232,13 +237,26 @@ setGlobalSink(TraceSink *sink)
 void
 initFromEnv()
 {
+    envTraceBuf =
+        static_cast<std::size_t>(envU64("D2M_TRACE_BUF", 8192));
     const char *path = std::getenv("D2M_TRACE_FILE");
     if (!path || !*path)
         return;
-    const std::size_t cap =
-        static_cast<std::size_t>(envU64("D2M_TRACE_BUF", 8192));
-    globalOwner.sink = new TraceSink(path, cap);
+    envTracePath = path;
+    globalOwner.sink = new TraceSink(envTracePath, envTraceBuf);
     globalSink = globalOwner.sink;
+}
+
+const std::string &
+traceFilePath()
+{
+    return envTracePath;
+}
+
+std::size_t
+traceBufCapacity()
+{
+    return envTraceBuf;
 }
 
 void

@@ -114,8 +114,13 @@ class TraceSink
     std::uint64_t flushed_ = 0;
 };
 
-/** Global sink; null when tracing is disabled. */
-extern TraceSink *globalSink;
+/**
+ * Global sink; null when tracing is disabled. thread_local: the env
+ * sink attaches on the main thread; each parallel sweep worker
+ * (harness/pool.hh) attaches its own per-job sink so concurrent runs
+ * never interleave records in one ring.
+ */
+extern thread_local TraceSink *globalSink;
 
 /** @return true when a global trace sink is attached. */
 inline bool traceEnabled() { return globalSink != nullptr; }
@@ -142,7 +147,14 @@ TraceSink *setGlobalSink(TraceSink *sink);
 /** Create the global sink from D2M_TRACE_FILE / D2M_TRACE_BUF. */
 void initFromEnv();
 
-/** Flush the global sink if any (called at run end). */
+/** D2M_TRACE_FILE as parsed at startup ("" = tracing disabled). The
+ * parallel runner derives per-job file names from this. */
+const std::string &traceFilePath();
+
+/** D2M_TRACE_BUF as parsed at startup (ring capacity in records). */
+std::size_t traceBufCapacity();
+
+/** Flush this thread's sink if any (called at run end). */
 void flushGlobal();
 
 } // namespace d2m::obs

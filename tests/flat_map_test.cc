@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the open-addressing flat hash containers, including a
+ * randomized property test against std::unordered_map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/rng.hh"
+
+namespace d2m
+{
+namespace
+{
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.contains(1));
+    EXPECT_TRUE(m.find(1) == m.end());
+
+    auto [it, fresh] = m.emplace(1, 10);
+    EXPECT_TRUE(fresh);
+    EXPECT_EQ(it->second, 10);
+    EXPECT_EQ(m.size(), 1u);
+
+    // Duplicate insert keeps the original value.
+    auto [it2, fresh2] = m.emplace(1, 99);
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(it2->second, 10);
+    EXPECT_EQ(m.size(), 1u);
+
+    m[2] = 20;
+    m[2] = 21;  // overwrite through operator[]
+    EXPECT_EQ(m.find(2)->second, 21);
+    EXPECT_EQ(m.size(), 2u);
+
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_FALSE(m.erase(1));  // already gone
+    EXPECT_FALSE(m.contains(1));
+    EXPECT_EQ(m.size(), 1u);
+
+    // A key can come back after erase.
+    m[1] = 11;
+    EXPECT_EQ(m.find(1)->second, 11);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, OperatorIndexDefaultConstructs)
+{
+    FlatMap<int, std::uint64_t> m;
+    EXPECT_EQ(m[5], 0u);
+    m[5] += 7;
+    EXPECT_EQ(m[5], 7u);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacityAndKeepsEntries)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    const std::uint64_t n = 10'000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        m[i * 0x9e3779b9ull] = i;
+    EXPECT_EQ(m.size(), n);
+    EXPECT_GE(m.capacity(), n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        auto it = m.find(i * 0x9e3779b9ull);
+        ASSERT_TRUE(it != m.end()) << i;
+        EXPECT_EQ(it->second, i);
+    }
+}
+
+TEST(FlatMap, ReserveAvoidsRehash)
+{
+    FlatMap<int, int> m;
+    m.reserve(1000);
+    const std::size_t cap = m.capacity();
+    for (int i = 0; i < 1000; ++i)
+        m[i] = i;
+    EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMap, TombstoneChurnDoesNotGrowUnbounded)
+{
+    // Insert/erase a sliding window of keys: live size stays small,
+    // so same-capacity rehashes must reclaim tombstones instead of
+    // doubling forever.
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 200'000; ++i) {
+        m[i] = i;
+        if (i >= 8) {
+            EXPECT_TRUE(m.erase(i - 8));
+        }
+    }
+    EXPECT_EQ(m.size(), 8u);
+    EXPECT_LE(m.capacity(), 64u);
+    for (std::uint64_t i = 200'000 - 8; i < 200'000; ++i)
+        EXPECT_TRUE(m.contains(i));
+}
+
+TEST(FlatMap, IterationVisitsEveryLiveEntryOnce)
+{
+    FlatMap<int, int> m;
+    for (int i = 0; i < 100; ++i)
+        m[i] = i * 3;
+    for (int i = 0; i < 100; i += 2)
+        m.erase(i);
+    std::unordered_set<int> seen;
+    for (const auto &[k, v] : m) {
+        EXPECT_EQ(v, k * 3);
+        EXPECT_TRUE(seen.insert(k).second) << "visited twice: " << k;
+    }
+    EXPECT_EQ(seen.size(), 50u);
+    for (int i = 1; i < 100; i += 2) {
+        EXPECT_TRUE(seen.count(i)) << i;
+    }
+}
+
+TEST(FlatMap, EraseByIteratorReturnsNext)
+{
+    FlatMap<int, int> m;
+    for (int i = 0; i < 64; ++i)
+        m[i] = i;
+    // Erase-during-scan: drop every even value.
+    for (auto it = m.begin(); it != m.end();) {
+        if (it->second % 2 == 0)
+            it = m.erase(it);
+        else
+            ++it;
+    }
+    EXPECT_EQ(m.size(), 32u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(m.contains(i), i % 2 != 0) << i;
+}
+
+TEST(FlatMap, ClearEmptiesButKeepsCapacity)
+{
+    FlatMap<int, int> m;
+    for (int i = 0; i < 100; ++i)
+        m[i] = i;
+    const std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_FALSE(m.contains(5));
+    EXPECT_TRUE(m.begin() == m.end());
+    m[3] = 4;
+    EXPECT_EQ(m.find(3)->second, 4);
+}
+
+TEST(FlatMap, AdversarialKeysCollideIntoOneChain)
+{
+    // Keys differing only above bit 40 — any weak mask-only hash
+    // would pile them into one slot; correctness must survive the
+    // resulting long probe chains either way.
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 512; ++i)
+        m[i << 40] = i;
+    EXPECT_EQ(m.size(), 512u);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        EXPECT_EQ(m.find(i << 40)->second, i);
+    for (std::uint64_t i = 0; i < 512; i += 2)
+        EXPECT_TRUE(m.erase(i << 40));
+    for (std::uint64_t i = 1; i < 512; i += 2)
+        EXPECT_EQ(m.find(i << 40)->second, i);
+}
+
+TEST(FlatMapProperty, AgreesWithUnorderedMapUnderRandomOps)
+{
+    // Random insert / overwrite / erase / lookup stream, checked
+    // against std::unordered_map after every operation batch.
+    Rng rng(0xf1a7a201ull);
+    FlatMap<std::uint32_t, std::uint64_t> flat;
+    std::unordered_map<std::uint32_t, std::uint64_t> ref;
+
+    for (int step = 0; step < 100'000; ++step) {
+        const std::uint32_t key =
+            static_cast<std::uint32_t>(rng.next() % 512);
+        switch (rng.next() % 4) {
+          case 0:  // insert-if-absent
+            EXPECT_EQ(flat.emplace(key, step).second,
+                      ref.emplace(key, step).second);
+            break;
+          case 1:  // overwrite
+            flat[key] = step;
+            ref[key] = step;
+            break;
+          case 2:  // erase
+            EXPECT_EQ(flat.erase(key), ref.erase(key) > 0);
+            break;
+          default: {  // lookup
+            auto fit = flat.find(key);
+            auto rit = ref.find(key);
+            ASSERT_EQ(fit != flat.end(), rit != ref.end());
+            if (rit != ref.end()) {
+                EXPECT_EQ(fit->second, rit->second);
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Full-content comparison at the end.
+    std::size_t visited = 0;
+    for (const auto &[k, v] : flat) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end()) << k;
+        EXPECT_EQ(v, it->second);
+        ++visited;
+    }
+    EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatSet, InsertContainsErase)
+{
+    FlatSet<std::uint64_t> s;
+    EXPECT_TRUE(s.insert(7));
+    EXPECT_FALSE(s.insert(7));  // duplicate
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.erase(7));
+    EXPECT_FALSE(s.erase(7));
+    EXPECT_TRUE(s.empty());
+
+    for (std::uint64_t i = 0; i < 5000; ++i)
+        EXPECT_TRUE(s.insert(i * 977));
+    EXPECT_EQ(s.size(), 5000u);
+    for (std::uint64_t i = 0; i < 5000; ++i)
+        EXPECT_TRUE(s.contains(i * 977));
+    EXPECT_FALSE(s.contains(976));
+}
+
+} // namespace
+} // namespace d2m

@@ -102,6 +102,58 @@ TEST(Runner, FilterByEnv)
         EXPECT_EQ(wl.suite, "database");
 }
 
+TEST(Runner, MatchesFilterSubstringListAndExact)
+{
+    // Single substring pattern (historical behavior).
+    EXPECT_TRUE(matchesFilter("database", "data"));
+    EXPECT_FALSE(matchesFilter("database", "mobile"));
+
+    // Comma-separated list: any pattern may match.
+    EXPECT_TRUE(matchesFilter("mobile", "database,mobile"));
+    EXPECT_TRUE(matchesFilter("database", "database,mobile"));
+    EXPECT_FALSE(matchesFilter("hpc", "database,mobile"));
+
+    // "=name" is exact: no substring spill-over.
+    EXPECT_TRUE(matchesFilter("fft", "=fft"));
+    EXPECT_FALSE(matchesFilter("fft2d", "=fft"));
+    EXPECT_TRUE(matchesFilter("fft2d", "fft"));
+
+    // Mixed forms and stray separators.
+    EXPECT_TRUE(matchesFilter("fft2d", "=fft,2d"));
+    EXPECT_FALSE(matchesFilter("hpc", "=fft,2d"));
+    EXPECT_TRUE(matchesFilter("anything", ""));
+    EXPECT_TRUE(matchesFilter("anything", ",,"));
+    EXPECT_TRUE(matchesFilter("fft", ",=fft,"));
+}
+
+TEST(Runner, FilterByEnvCommaListAndExact)
+{
+    setenv("D2M_SUITE_FILTER", "database,mobile", 1);
+    auto filtered = filteredWorkloads(allSuites());
+    unsetenv("D2M_SUITE_FILTER");
+    ASSERT_FALSE(filtered.empty());
+    bool saw_database = false, saw_mobile = false;
+    for (const auto &wl : filtered) {
+        EXPECT_TRUE(wl.suite == "database" || wl.suite == "mobile")
+            << wl.suite;
+        saw_database |= wl.suite == "database";
+        saw_mobile |= wl.suite == "mobile";
+    }
+    EXPECT_TRUE(saw_database);
+    EXPECT_TRUE(saw_mobile);
+
+    // Exact form: pick one concrete benchmark and expect only it.
+    const auto all = allSuites();
+    ASSERT_FALSE(all.empty());
+    const std::string name = all.front().name;
+    setenv("D2M_BENCH_FILTER", ("=" + name).c_str(), 1);
+    filtered = filteredWorkloads(allSuites());
+    unsetenv("D2M_BENCH_FILTER");
+    ASSERT_FALSE(filtered.empty());
+    for (const auto &wl : filtered)
+        EXPECT_EQ(wl.name, name);
+}
+
 TEST(Runner, MetricsAreInternallyConsistent)
 {
     WorkloadParams p;

@@ -230,12 +230,21 @@ TEST(SnapshotDeathTest, CsvWithoutPeriodIsFatal)
     ::unsetenv("D2M_INTERVAL_CSV");
 }
 
-TEST(Snapshot, GlobalHooksAreNoOpsWhenDetached)
+TEST(Snapshot, RunWithoutSnapshotterIsANoOp)
 {
-    obs::setGlobalSnapshotter(nullptr);
-    obs::intervalTick(1000, 10);        // must not crash
-    obs::intervalStatsReset(2000, 20);
-    obs::intervalFinish(3000, 30);
+    // RunOptions::snapshotter defaults to null; the multicore loop
+    // must run cleanly without one attached.
+    auto sys = makeSystem(ConfigKind::Base2L);
+    WorkloadParams p;
+    p.instructionsPerCore = 200;
+    p.seed = 7;
+    std::vector<std::unique_ptr<AccessStream>> streams;
+    for (unsigned c = 0; c < sys->params().numNodes; ++c)
+        streams.push_back(std::make_unique<SyntheticStream>(p, c, 64));
+    RunOptions opts;
+    EXPECT_EQ(opts.snapshotter, nullptr);
+    const RunResult r = runMulticore(*sys, streams, opts);
+    EXPECT_EQ(r.valueErrors, 0u);
 }
 
 // ------------------------------------------------- full-system check
@@ -265,11 +274,10 @@ TEST(Snapshot, MulticoreRunDeltasReconcileAgainstLiveStats)
         streams.push_back(std::make_unique<SyntheticStream>(p, c, 64));
 
     obs::StatSnapshotter snap(*sys, instConfig(1'000));
-    obs::StatSnapshotter *old = obs::setGlobalSnapshotter(&snap);
     RunOptions opts;
     opts.warmupInstsPerCore = 2'000;
+    opts.snapshotter = &snap;
     const RunResult r = runMulticore(*sys, streams, opts);
-    obs::setGlobalSnapshotter(old);
     EXPECT_EQ(r.valueErrors, 0u);
 
     ASSERT_GE(snap.rows().size(), 3u);
