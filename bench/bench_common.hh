@@ -124,6 +124,19 @@ writeBenchJson(const char *name, const std::vector<Metrics> &rows)
                  rows.size());
 }
 
+/**
+ * Process exit code reflecting every sweep this binary ran: 0 clean,
+ * 2 when cells failed or timed out, 3 when a drain interrupted the
+ * campaign (see kCampaignExit* in harness/runner.hh). Bench mains
+ * return this so CI distinguishes "figures are complete" from
+ * "figures have holes".
+ */
+inline int
+benchExitCode()
+{
+    return campaignExitCode();
+}
+
 /** One representative benchmark per suite (for expensive ablations). */
 inline std::vector<NamedWorkload>
 representativeWorkloads()

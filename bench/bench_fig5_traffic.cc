@@ -71,5 +71,5 @@ main()
     std::printf("  %-10s %.2fx (%+.0f%%)   [paper: -70%% average]\n",
                 "ALL", geomean(all_ratios),
                 100.0 * (geomean(all_ratios) - 1));
-    return 0;
+    return d2m::bench::benchExitCode();
 }

@@ -63,5 +63,5 @@ main()
                 "NS-R %.2fx\n",
                 overall("D2M-FS", "Base-2L"), overall("D2M-NS", "Base-2L"),
                 overall("D2M-NS-R", "Base-2L"));
-    return 0;
+    return d2m::bench::benchExitCode();
 }

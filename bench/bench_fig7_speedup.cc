@@ -86,5 +86,5 @@ main()
     std::printf("\nTail latency (L1 miss latency percentiles, "
                 "cycles):\n%s\n",
                 tailLatencyTable(rows).c_str());
-    return 0;
+    return d2m::bench::benchExitCode();
 }

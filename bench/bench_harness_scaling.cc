@@ -167,5 +167,5 @@ main()
         std::fclose(f);
         std::fprintf(stderr, "wrote %s\n", path.c_str());
     }
-    return 0;
+    return d2m::bench::benchExitCode();
 }

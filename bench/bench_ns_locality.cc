@@ -60,5 +60,5 @@ main()
     std::printf("Average local share of NS-LLC services: NS %.0f%%, "
                 "NS-R %.0f%%   [paper: 58%% -> 76%% for data]\n",
                 n ? ns_local / n : 0, n ? nsr_local / n : 0);
-    return 0;
+    return d2m::bench::benchExitCode();
 }

@@ -50,5 +50,5 @@ main()
                   fmt(l2tags > 0 ? 100.0 * md2 / l2tags : 0, 0) + "%",
                   "58%"});
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    return d2m::bench::benchExitCode();
 }

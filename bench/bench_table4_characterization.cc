@@ -82,5 +82,5 @@ main()
         "96/73\n"
         "  Database  8.8/3.3        6.2/4.2        59/41     26/34   "
         "97/72\n");
-    return 0;
+    return d2m::bench::benchExitCode();
 }

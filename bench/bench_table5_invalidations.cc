@@ -61,5 +61,5 @@ main()
     std::printf("  %-10s misses to private regions: %.0f%%   "
                 "[paper: 68%% average, Server 100%%]\n",
                 "AVERAGE", n ? private_sum / n : 0);
-    return 0;
+    return d2m::bench::benchExitCode();
 }

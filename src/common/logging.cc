@@ -1,6 +1,7 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <csignal>
 #include <cstdarg>
 #include <cstdio>
 #include <mutex>
@@ -39,6 +40,21 @@ unsigned numCrashHooks = 0;
 std::mutex crashHooksMutex;
 std::atomic<bool> crashHooksRan{false};
 
+/** Nesting depth of ScopedAbortCapture on this thread. */
+thread_local unsigned abortCaptureDepth = 0;
+
+/** Flush hooks, then re-raise with the default disposition so the
+ * process still dies "by signal N" as far as the parent can tell. */
+void
+signalFlushHandler(int sig)
+{
+    runCrashHooks();
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+std::atomic<bool> flushHandlersInstalled{false};
+
 } // namespace
 
 void
@@ -67,8 +83,63 @@ runCrashHooks()
 }
 
 void
+runAbortFlushHooks()
+{
+    for (unsigned i = 0; i < numCrashHooks; ++i)
+        crashHooks[i]();
+}
+
+void
+installSignalFlushHandlers()
+{
+    if (flushHandlersInstalled.exchange(true))
+        return;
+    struct sigaction sa = {};
+    sa.sa_handler = &signalFlushHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    for (int sig : {SIGINT, SIGTERM}) {
+        struct sigaction old = {};
+        if (sigaction(sig, nullptr, &old) == 0 &&
+            old.sa_handler == SIG_DFL) {
+            sigaction(sig, &sa, nullptr);
+        }
+    }
+}
+
+RunAbortError::RunAbortError(std::string msg, const char *file, int line,
+                             bool is_panic)
+    : message_(std::move(msg)),
+      what_(vformat("%s [%s:%d]", message_.c_str(), file, line)),
+      file_(file), line_(line), panic_(is_panic)
+{
+}
+
+ScopedAbortCapture::ScopedAbortCapture()
+{
+    ++abortCaptureDepth;
+}
+
+ScopedAbortCapture::~ScopedAbortCapture()
+{
+    --abortCaptureDepth;
+}
+
+bool
+ScopedAbortCapture::active()
+{
+    return abortCaptureDepth > 0;
+}
+
+void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedAbortCapture::active()) {
+        // Flush this thread's buffered trace tail so the abort is
+        // debuggable, then hand the diagnostic to the campaign layer.
+        runAbortFlushHooks();
+        throw RunAbortError(msg, file, line, /*is_panic=*/true);
+    }
     std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
     runCrashHooks();
     std::abort();
@@ -77,6 +148,10 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedAbortCapture::active()) {
+        runAbortFlushHooks();
+        throw RunAbortError(msg, file, line, /*is_panic=*/false);
+    }
     std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
     runCrashHooks();
     std::exit(1);

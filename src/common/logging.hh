@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 namespace d2m
@@ -49,6 +50,72 @@ void registerCrashHook(CrashHook hook);
 
 /** Run all registered hooks once; reentrant calls are no-ops. */
 void runCrashHooks();
+
+/**
+ * Run the registered hooks WITHOUT latching the one-shot flag: the
+ * per-run abort path (see ScopedAbortCapture) flushes a failing run's
+ * trace tail but the process keeps executing the rest of the sweep,
+ * so a later real crash must still be able to run the hooks. Hooks
+ * must therefore tolerate repeated invocation (the trace-sink flush
+ * does: an empty buffer flushes nothing).
+ */
+void runAbortFlushHooks();
+
+/**
+ * Install SIGINT/SIGTERM handlers that run the crash hooks (flushing
+ * the trace sink; interval CSVs are flushed per row already) and then
+ * re-raise the signal with its default disposition, so signal-driven
+ * shutdown keeps the process's observable exit status while leaving
+ * debuggable traces behind. Idempotent; never clobbers a non-default
+ * handler someone else installed first (e.g. the sweep drain handler).
+ */
+void installSignalFlushHandlers();
+
+/**
+ * Thrown by fatal()/panic() instead of killing the process while a
+ * ScopedAbortCapture is active on the calling thread. The campaign
+ * runner converts it into a FAILED cell outcome; everything between
+ * the raise site and the catch unwinds normally (each sweep job owns
+ * its whole system, so unwinding cannot corrupt sibling runs).
+ */
+class RunAbortError : public std::exception
+{
+  public:
+    RunAbortError(std::string msg, const char *file, int line,
+                  bool is_panic);
+
+    const char *what() const noexcept override { return what_.c_str(); }
+    const std::string &message() const { return message_; }
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+    bool isPanic() const { return panic_; }
+
+  private:
+    std::string message_;
+    std::string what_;  //!< "msg [file:line]" for generic catch sites.
+    const char *file_;  //!< __FILE__ literal: static storage duration.
+    int line_;
+    bool panic_;
+};
+
+/**
+ * While alive, fatal()/panic() on THIS thread throw RunAbortError
+ * (after flushing the thread's trace tail) instead of terminating the
+ * process. Scopes nest; the capture is per-thread, so a parallel
+ * sweep job aborting never affects its siblings or the main thread.
+ */
+class ScopedAbortCapture
+{
+  public:
+    ScopedAbortCapture();
+    ~ScopedAbortCapture();
+
+    ScopedAbortCapture(const ScopedAbortCapture &) = delete;
+    ScopedAbortCapture &operator=(const ScopedAbortCapture &) = delete;
+
+    /** True when a capture scope is active on the calling thread. */
+    static bool active();
+};
 
 /** Per-call-site warning budget backing warn_limited(). The counter
  * is atomic: call sites are static and may be hit from concurrent

@@ -40,6 +40,20 @@ runMulticore(MemorySystem &system,
 
     unsigned remaining = n;
     while (remaining > 0) {
+        if (opts.progress) [[unlikely]] {
+            // Liveness + cancellation poll: one relaxed store and one
+            // relaxed load per access, only when a campaign monitors
+            // this run. The progress value just has to keep moving;
+            // accesses-so-far (plus one so the very first poll already
+            // differs from the rearmed zero) is the cheapest monotone.
+            opts.progress->store(result.accesses + total_committed + 1,
+                                 std::memory_order_relaxed);
+            if (opts.cancel &&
+                opts.cancel->load(std::memory_order_relaxed) != 0) {
+                fatal("run cancelled by campaign watchdog/drain "
+                      "(timeout or shutdown requested)");
+            }
+        }
         if (!warm && total_committed >= warmup_total) {
             warm = true;
             // Close the in-flight warmup interval against the

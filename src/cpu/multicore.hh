@@ -13,6 +13,7 @@
 #ifndef D2M_CPU_MULTICORE_HH
 #define D2M_CPU_MULTICORE_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -69,6 +70,21 @@ struct RunOptions
      * so concurrent sweep jobs never share snapshot state.
      */
     obs::StatSnapshotter *snapshotter = nullptr;
+
+    /**
+     * Campaign-watchdog liveness counter (null = unmonitored). The
+     * run loop stores a monotonically increasing progress value here
+     * every access; the watchdog thread (harness/watchdog.hh) marks
+     * the run stalled when the value stops advancing.
+     */
+    std::atomic<std::uint64_t> *progress = nullptr;
+    /**
+     * Cooperative cancellation flag (null = not cancellable). When it
+     * becomes nonzero (watchdog timeout or shutdown drain) the run
+     * loop raises a fatal() — which a sweep job's abort capture turns
+     * into a recoverable RunAborted outcome for just this cell.
+     */
+    const std::atomic<int> *cancel = nullptr;
 };
 
 /** Drive @p streams (one per node) to completion on @p system. */

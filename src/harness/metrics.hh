@@ -89,6 +89,13 @@ struct Metrics
     double simKips = 0;          //!< Kilo-insts per host second.
     double warmupWallSec = 0;
     double measureWallSec = 0;
+
+    // Campaign outcome (harness/store.hh, DESIGN.md §13). "ok" rows
+    // serialize exactly as before; non-ok rows additionally carry
+    // status / attempts / error so failures are visible downstream.
+    std::string status = "ok";   //!< ok | failed | timeout | abandoned.
+    std::uint64_t attempts = 1;  //!< Executions including retries.
+    std::string errorMessage;    //!< Diagnostic for non-ok outcomes.
 };
 
 /** Extract metrics after a run. */

@@ -114,8 +114,119 @@ metricsToJson(const Metrics &m)
     appendField(os, "sim_kips", m.simKips, first);
     appendField(os, "warmup_wall_sec", m.warmupWallSec, first);
     appendField(os, "measure_wall_sec", m.measureWallSec, first);
+    // Campaign outcome fields only appear on non-ok rows: "ok" rows
+    // stay byte-identical to the historical format, and the string
+    // fields carry no numeric signal for stats_diff baselines.
+    if (m.status != "ok") {
+        os << "," << json::quote("status") << ":"
+           << json::quote(m.status) << "," << json::quote("attempts")
+           << ":" << json::number(m.attempts) << ","
+           << json::quote("error") << ":" << json::quote(m.errorMessage);
+    }
     os << "}";
     return os.str();
+}
+
+namespace
+{
+
+struct DoubleField
+{
+    const char *key;
+    double Metrics::*field;
+};
+
+struct U64Field
+{
+    const char *key;
+    std::uint64_t Metrics::*field;
+};
+
+// Mirrors metricsToJson exactly (cycles handled separately: Tick).
+constexpr DoubleField kDoubleFields[] = {
+    {"ipc", &Metrics::ipc},
+    {"msgs_per_kilo_inst", &Metrics::msgsPerKiloInst},
+    {"d2m_msgs_per_kilo_inst", &Metrics::d2mMsgsPerKiloInst},
+    {"bytes_per_kilo_inst", &Metrics::bytesPerKiloInst},
+    {"energy_pj", &Metrics::energyPj},
+    {"edp", &Metrics::edp},
+    {"l1i_miss_pct", &Metrics::l1iMissPct},
+    {"l1d_miss_pct", &Metrics::l1dMissPct},
+    {"late_hit_i_pct", &Metrics::lateHitIPct},
+    {"late_hit_d_pct", &Metrics::lateHitDPct},
+    {"near_hit_ratio_i", &Metrics::nearHitRatioI},
+    {"near_hit_ratio_d", &Metrics::nearHitRatioD},
+    {"avg_miss_latency", &Metrics::avgMissLatency},
+    {"miss_latency_p50", &Metrics::missLatencyP50},
+    {"miss_latency_p95", &Metrics::missLatencyP95},
+    {"miss_latency_p99", &Metrics::missLatencyP99},
+    {"access_latency_p99", &Metrics::accessLatencyP99},
+    {"noc_delay_p99", &Metrics::nocDelayP99},
+    {"avg_li_hops", &Metrics::avgLiHops},
+    {"li_hops_p99", &Metrics::liHopsP99},
+    {"private_miss_pct", &Metrics::privateMissPct},
+    {"direct_access_pct", &Metrics::directAccessPct},
+    {"ns_local_pct", &Metrics::nsLocalPct},
+    {"avg_detection_latency", &Metrics::avgDetectionLatency},
+    {"sim_kips", &Metrics::simKips},
+    {"warmup_wall_sec", &Metrics::warmupWallSec},
+    {"measure_wall_sec", &Metrics::measureWallSec},
+};
+
+constexpr U64Field kU64Fields[] = {
+    {"instructions", &Metrics::instructions},
+    {"accesses", &Metrics::accesses},
+    {"invalidations_received", &Metrics::invalidationsReceived},
+    {"dir_or_md3_accesses", &Metrics::dirOrMd3Accesses},
+    {"md2_accesses", &Metrics::md2Accesses},
+    {"l2_tag_accesses", &Metrics::l2TagAccesses},
+    {"llc_tag_accesses", &Metrics::llcTagAccesses},
+    {"value_errors", &Metrics::valueErrors},
+    {"invariant_errors", &Metrics::invariantErrors},
+    {"faults_injected", &Metrics::faultsInjected},
+    {"faults_detected", &Metrics::faultsDetected},
+    {"faults_recovered", &Metrics::faultsRecovered},
+    {"faults_corrected", &Metrics::faultsCorrected},
+    {"lines_refetched", &Metrics::linesRefetched},
+    {"noc_dropped", &Metrics::nocDropped},
+    {"noc_retries", &Metrics::nocRetries},
+    {"recovery_messages", &Metrics::recoveryMessages},
+    {"recovery_cycles", &Metrics::recoveryCycles},
+    {"attempts", &Metrics::attempts},
+};
+
+} // namespace
+
+bool
+metricsFromJson(const json::Value &v, Metrics *out)
+{
+    if (!v.isObject())
+        return false;
+    auto getStr = [&](const char *key, std::string &dst) {
+        const json::Value &f = v[key];
+        if (f.kind == json::Value::Kind::String)
+            dst = f.asString();
+    };
+    getStr("config", out->config);
+    getStr("suite", out->suite);
+    getStr("benchmark", out->benchmark);
+    getStr("status", out->status);
+    getStr("error", out->errorMessage);
+    for (const auto &[key, field] : kDoubleFields) {
+        const json::Value &f = v[key];
+        if (f.kind == json::Value::Kind::Number)
+            out->*field = f.asNumber();
+    }
+    for (const auto &[key, field] : kU64Fields) {
+        const json::Value &f = v[key];
+        if (f.kind == json::Value::Kind::Number)
+            out->*field = static_cast<std::uint64_t>(f.asNumber());
+    }
+    if (const json::Value &c = v["cycles"];
+        c.kind == json::Value::Kind::Number) {
+        out->cycles = static_cast<Tick>(c.asNumber());
+    }
+    return true;
 }
 
 const std::string &
@@ -137,14 +248,10 @@ reserveRunSlots(std::size_t n)
     return first;
 }
 
-void
-exportRunJson(const Metrics &m, MemorySystem &system,
-              const obs::StatSnapshotter *intervals, std::uint64_t slot)
+std::string
+buildRunRow(const Metrics &m, MemorySystem &system,
+            const obs::StatSnapshotter *intervals)
 {
-    const std::string &path = resultsJsonPath();
-    if (path.empty())
-        return;
-
     std::ostringstream stats;
     system.printJson(stats);
     std::string row = "{\"config\":" + json::quote(m.config) +
@@ -155,6 +262,36 @@ exportRunJson(const Metrics &m, MemorySystem &system,
     if (intervals)
         row += ",\"intervals\":" + intervals->rowsJson();
     row += "}";
+    return row;
+}
+
+std::string
+buildFailureRow(const Metrics &m)
+{
+    return "{\"config\":" + json::quote(m.config) +
+           ",\"suite\":" + json::quote(m.suite) +
+           ",\"benchmark\":" + json::quote(m.benchmark) +
+           ",\"status\":" + json::quote(m.status) +
+           ",\"attempts\":" + json::number(m.attempts) +
+           ",\"error\":" + json::quote(m.errorMessage) +
+           ",\"metrics\":" + metricsToJson(m) + "}";
+}
+
+void
+exportRunJson(const Metrics &m, MemorySystem &system,
+              const obs::StatSnapshotter *intervals, std::uint64_t slot)
+{
+    if (resultsJsonPath().empty())
+        return;
+    exportRowJson(buildRunRow(m, system, intervals), slot);
+}
+
+void
+exportRowJson(std::string row, std::uint64_t slot)
+{
+    const std::string &path = resultsJsonPath();
+    if (path.empty() || row.empty())
+        return;
 
     std::lock_guard<std::mutex> lock(runsMutex());
     if (slot == kRunSlotAppend)

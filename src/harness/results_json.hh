@@ -20,13 +20,25 @@
 #include <string>
 
 #include "harness/metrics.hh"
+#include "obs/json.hh"
 #include "obs/snapshot.hh"
 
 namespace d2m
 {
 
-/** One Metrics row as a JSON object (deterministic field order). */
+/** One Metrics row as a JSON object (deterministic field order).
+ * Rows with status "ok" serialize exactly as they always have; non-ok
+ * rows append status / attempts / error fields (strings, which the
+ * stats_diff flattener ignores, so baselines stay comparable). */
 std::string metricsToJson(const Metrics &m);
+
+/**
+ * Rebuild a Metrics row from a parsed metricsToJson() object (the
+ * result store uses this to resurrect rows on campaign resume).
+ * Unknown fields are ignored; missing fields keep their defaults.
+ * @return false when @p v is not an object.
+ */
+bool metricsFromJson(const json::Value &v, Metrics *out);
 
 /** exportRunJson slot meaning "append after all reserved slots". */
 inline constexpr std::uint64_t kRunSlotAppend = ~std::uint64_t(0);
@@ -55,6 +67,27 @@ std::uint64_t reserveRunSlots(std::size_t n);
 void exportRunJson(const Metrics &m, MemorySystem &system,
                    const obs::StatSnapshotter *intervals = nullptr,
                    std::uint64_t slot = kRunSlotAppend);
+
+/**
+ * Build one complete "runs" array row (metrics + stats tree +
+ * optional intervals) without touching the output document. The
+ * campaign layer stores this verbatim string so a resumed sweep can
+ * re-emit the row byte-identically without re-running anything.
+ */
+std::string buildRunRow(const Metrics &m, MemorySystem &system,
+                        const obs::StatSnapshotter *intervals = nullptr);
+
+/** A "runs" row for a cell with no surviving system state (failed or
+ * timed-out run): identity + status + attempts + error + metrics. */
+std::string buildFailureRow(const Metrics &m);
+
+/**
+ * Insert a prebuilt row (from buildRunRow / buildFailureRow / the
+ * result store) into the collected document at @p slot and rewrite
+ * D2M_STATS_JSON. No-op when the variable is unset or @p row is
+ * empty. Thread-safe.
+ */
+void exportRowJson(std::string row, std::uint64_t slot = kRunSlotAppend);
 
 /** The D2M_STATS_JSON path ("" when disabled). */
 const std::string &resultsJsonPath();

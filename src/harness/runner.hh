@@ -13,6 +13,9 @@
 #ifndef D2M_HARNESS_RUNNER_HH
 #define D2M_HARNESS_RUNNER_HH
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,7 +45,59 @@ struct SweepOptions
      */
     unsigned jobs = 0;
     RunOptions runOptions{};
+
+    /**
+     * Stall watchdog: a run whose access counter stops advancing for
+     * this long is cancelled and recorded as "timeout". The sentinel
+     * defers to env D2M_RUN_TIMEOUT (seconds); 0 disables.
+     */
+    std::uint64_t runTimeoutMs = ~std::uint64_t(0);
+    /** Extra attempts for failed/timed-out cells, each with a
+     * deterministically jittered seed. Sentinel = env D2M_RUN_RETRIES
+     * (default 0). */
+    std::uint64_t runRetries = ~std::uint64_t(0);
+    /**
+     * Test hook, called at the start of every attempt of every cell
+     * (before the system is built). Runs inside the per-run abort
+     * capture, so a fatal() here is recorded as that cell failing —
+     * the campaign tests use it to inject crashes, stalls and
+     * signals at precise points.
+     */
+    std::function<void(const NamedWorkload &wl, unsigned attempt)>
+        preRunHook;
 };
+
+/** Aggregate outcome of one runSweep() call (DESIGN.md §13). */
+struct SweepOutcome
+{
+    std::size_t total = 0;      //!< Grid cells requested.
+    std::size_t executed = 0;   //!< Cells actually run this process.
+    std::size_t fromStore = 0;  //!< Cells resumed from D2M_STORE_DIR.
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timeout = 0;
+    std::size_t abandoned = 0;  //!< Skipped by a shutdown drain.
+    bool interrupted = false;   //!< SIGINT/SIGTERM drain happened.
+};
+
+/** Outcome of the most recent runSweep() in this process. */
+const SweepOutcome &lastSweepOutcome();
+
+/** Accumulated outcome of every runSweep() in this process. */
+const SweepOutcome &processSweepOutcome();
+
+/** Campaign exit-code semantics: clean / failed cells / interrupted
+ * (partial takes precedence over failed — the missing cells make the
+ * document incomplete, which matters more downstream). */
+inline constexpr int kCampaignExitClean = 0;
+inline constexpr int kCampaignExitFailed = 2;
+inline constexpr int kCampaignExitPartial = 3;
+
+/** Exit code for @p outcome per the semantics above. */
+int campaignExitCode(const SweepOutcome &outcome);
+
+/** Exit code for the whole process (processSweepOutcome()). */
+int campaignExitCode();
 
 /** Run one benchmark on one configuration. */
 Metrics runOne(ConfigKind kind, const NamedWorkload &wl,

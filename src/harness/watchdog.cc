@@ -1,0 +1,107 @@
+#include "harness/watchdog.hh"
+
+#include <algorithm>
+
+namespace d2m
+{
+
+namespace
+{
+
+std::atomic<int> drainSignals{0};
+
+} // namespace
+
+int
+noteDrainSignal()
+{
+    return drainSignals.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool
+drainRequested()
+{
+    return drainSignals.load(std::memory_order_relaxed) > 0;
+}
+
+void
+resetDrain()
+{
+    drainSignals.store(0, std::memory_order_relaxed);
+}
+
+RunWatchdog::RunWatchdog(std::uint64_t timeout_ms)
+    : timeoutMs_(timeout_ms)
+{
+    thread_ = std::thread([this] { loop(); });
+}
+
+RunWatchdog::~RunWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+RunWatchdog::attach(WatchdogClient *client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    client->lastSeen = client->progress.load(std::memory_order_relaxed);
+    client->lastChange = std::chrono::steady_clock::now();
+    if (std::find(clients_.begin(), clients_.end(), client) ==
+        clients_.end()) {
+        clients_.push_back(client);
+    }
+}
+
+void
+RunWatchdog::detach(WatchdogClient *client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
+                   clients_.end());
+}
+
+void
+RunWatchdog::loop()
+{
+    using namespace std::chrono;
+    // Poll fast enough to resolve the timeout with ~25% slack, but
+    // never busier than 5 ms (sub-second timeouts are a test thing).
+    const auto poll = milliseconds(
+        timeoutMs_ ? std::clamp<std::uint64_t>(timeoutMs_ / 4, 5, 500)
+                   : 100);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        cv_.wait_for(lock, poll, [this] { return stop_; });
+        if (stop_)
+            break;
+        const bool drain = drainRequested();
+        const auto now = steady_clock::now();
+        for (WatchdogClient *c : clients_) {
+            if (c->cancel.load(std::memory_order_relaxed) != kCancelNone)
+                continue;
+            if (drain) {
+                c->cancel.store(kCancelDrain, std::memory_order_relaxed);
+                continue;
+            }
+            if (!timeoutMs_)
+                continue;
+            const std::uint64_t cur =
+                c->progress.load(std::memory_order_relaxed);
+            if (cur != c->lastSeen) {
+                c->lastSeen = cur;
+                c->lastChange = now;
+            } else if (now - c->lastChange >= milliseconds(timeoutMs_)) {
+                c->cancel.store(kCancelTimeout,
+                                std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+} // namespace d2m

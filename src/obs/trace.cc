@@ -53,6 +53,12 @@ struct EnvInit
         // buffer, so double flushes write nothing twice.
         registerCrashHook(&flushGlobal);
         std::atexit(&flushGlobal);
+        // SIGINT/SIGTERM would otherwise kill the process without
+        // running either path above; route them through the crash
+        // hooks too so trace tails survive an interrupted run. (The
+        // sweep runner layers its own drain handler on top during
+        // campaigns; this covers plain runs.)
+        installSignalFlushHandlers();
         initFromEnv();
     }
 } envInit;

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Campaign driver: the full (configs x workloads) grid as one
+ * crash-safe, resumable run (DESIGN.md §13).
+ *
+ * Environment:
+ *   D2M_STORE_DIR       durable result store; enables resume
+ *   D2M_RESUME=0        re-execute everything despite the store
+ *   D2M_RUN_TIMEOUT     per-run stall timeout, seconds (0 = off)
+ *   D2M_RUN_RETRIES     extra attempts per failed/stalled cell
+ *   D2M_STATS_JSON      combined stats document (byte-identical
+ *                       whether or not the campaign was interrupted)
+ *   D2M_SUITE_FILTER / D2M_BENCH_FILTER / D2M_INSTS_PER_CORE /
+ *   D2M_JOBS / D2M_QUIET as usual.
+ *
+ * Exit code: 0 all cells ok, 2 some cells failed or timed out,
+ * 3 interrupted (drained) before the grid completed.
+ *
+ * Test knobs (used by tests/ and CI to exercise crash paths):
+ *   D2M_CAMPAIGN_KILL_AFTER=N    SIGKILL self when the N-th cell starts
+ *   D2M_CAMPAIGN_SIGINT_AFTER=N  raise SIGINT when the N-th cell starts
+ *   D2M_CAMPAIGN_FAIL_BENCH=x    fatal() in every run of benchmark x
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "harness/store.hh"
+#include "workload/suites.hh"
+
+int
+main()
+{
+    using namespace d2m;
+
+    SweepOptions opts;
+    opts.verbose = std::getenv("D2M_QUIET") == nullptr;
+
+    const std::uint64_t killAfter = envU64("D2M_CAMPAIGN_KILL_AFTER", 0);
+    const std::uint64_t intAfter = envU64("D2M_CAMPAIGN_SIGINT_AFTER", 0);
+    const char *failBench = std::getenv("D2M_CAMPAIGN_FAIL_BENCH");
+    if (killAfter || intAfter || failBench) {
+        static std::atomic<std::uint64_t> started{0};
+        opts.preRunHook = [=](const NamedWorkload &wl, unsigned attempt) {
+            const std::uint64_t n =
+                attempt == 0 ? started.fetch_add(1) + 1 : started.load();
+            if (killAfter && attempt == 0 && n == killAfter)
+                ::kill(::getpid(), SIGKILL);
+            if (intAfter && attempt == 0 && n == intAfter)
+                std::raise(SIGINT);
+            if (failBench && wl.name == failBench)
+                fatal("injected campaign failure for benchmark '%s'",
+                      failBench);
+        };
+    }
+
+    const auto configs = allConfigs();
+    const auto workloads = filteredWorkloads(allSuites());
+    std::fprintf(stderr, "d2m_campaign: %zu configs x %zu workloads\n",
+                 configs.size(), workloads.size());
+
+    runSweep(configs, workloads, opts);
+
+    const SweepOutcome &o = lastSweepOutcome();
+    std::fprintf(stderr,
+                 "d2m_campaign: %zu cells (%zu executed, %zu resumed): "
+                 "%zu ok, %zu failed, %zu timeout, %zu abandoned%s\n",
+                 o.total, o.executed, o.fromStore, o.ok, o.failed,
+                 o.timeout, o.abandoned,
+                 o.interrupted ? " [interrupted]" : "");
+    return campaignExitCode(o);
+}
