@@ -43,6 +43,9 @@ std::atomic<bool> crashHooksRan{false};
 /** Nesting depth of ScopedAbortCapture on this thread. */
 thread_local unsigned abortCaptureDepth = 0;
 
+/** Per-thread inform()/warn() line prefix (sweep job attribution). */
+thread_local std::string logPrefix;
+
 /** Flush hooks, then re-raise with the default disposition so the
  * process still dies "by signal N" as far as the parent can tell. */
 void
@@ -158,9 +161,21 @@ fatalImpl(const char *file, int line, const std::string &msg)
 }
 
 void
+setThreadLogPrefix(std::string prefix)
+{
+    logPrefix = std::move(prefix);
+}
+
+const std::string &
+threadLogPrefix()
+{
+    return logPrefix;
+}
+
+void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::fprintf(stderr, "%swarn: %s\n", logPrefix.c_str(), msg.c_str());
 }
 
 bool
@@ -182,7 +197,7 @@ WarnLimit::allow()
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fprintf(stdout, "%sinfo: %s\n", logPrefix.c_str(), msg.c_str());
 }
 
 } // namespace d2m

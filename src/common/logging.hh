@@ -37,6 +37,17 @@ void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
 /**
+ * Prefix prepended to every inform()/warn() line emitted by the
+ * calling thread ("" = none). The parallel sweep runner tags its pool
+ * threads with "[job<N>] " so interleaved heartbeat / progress /
+ * warning lines remain attributable to a grid cell.
+ */
+void setThreadLogPrefix(std::string prefix);
+
+/** The calling thread's current log prefix. */
+const std::string &threadLogPrefix();
+
+/**
  * Hook run on the way out of panic()/fatal(), before the process
  * dies. Used by the observability layer to flush buffered trace
  * records so crash traces are debuggable (panic() aborts without

@@ -48,6 +48,10 @@ runMulticore(MemorySystem &system,
             // differs from the rearmed zero) is the cheapest monotone.
             opts.progress->store(result.accesses + total_committed + 1,
                                  std::memory_order_relaxed);
+            if (opts.instsProgress) {
+                opts.instsProgress->store(total_committed,
+                                          std::memory_order_relaxed);
+            }
             if (opts.cancel &&
                 opts.cancel->load(std::memory_order_relaxed) != 0) {
                 fatal("run cancelled by campaign watchdog/drain "

@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "harness/pool.hh"
+#include "harness/progress.hh"
 #include "harness/results_json.hh"
 #include "harness/store.hh"
 #include "harness/watchdog.hh"
@@ -39,7 +41,37 @@ struct RunContext
     /** Watchdog liveness / cancellation wiring (campaign sweeps). */
     std::atomic<std::uint64_t> *progress = nullptr;
     std::atomic<int> *cancel = nullptr;
+    /** Committed-instruction counter for the campaign progress
+     * stream (null = unmonitored). */
+    std::atomic<std::uint64_t> *insts = nullptr;
+    /** Full replacement for the D2M_INTERVAL_CSV path ("" = use the
+     * configured path as-is). Multi-cell sweeps pass "iv.<slot>.csv"
+     * style names so every run keeps its interval rows. */
+    std::string intervalCsv;
 };
+
+/** "<stem>.<slot>.<ext>" for @p path — "iv.csv" + slot 7 = "iv.7.csv"
+ * (no extension: append ".<slot>"). */
+std::string
+perRunCsvPath(const std::string &path, std::uint64_t slot)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    const std::string tag = "." + std::to_string(slot);
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + tag;
+    }
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+double
+unixNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
 
 void
 emit(const RunContext &ctx, const std::string &line)
@@ -86,11 +118,12 @@ runOneImpl(ConfigKind kind, const NamedWorkload &wl,
     ropts.warmupInstsPerCore = len.warmup;
     ropts.progress = ctx.progress;
     ropts.cancel = ctx.cancel;
+    ropts.instsProgress = ctx.insts;
     // Per-run interval stats (D2M_INTERVAL_INSTS / _TICKS / _CSV):
     // the snapshotter attaches to this system's stats tree and rides
     // through RunOptions, so concurrent runs never share one.
     auto snapshotter = obs::StatSnapshotter::fromEnv(*system,
-                                                     ctx.obsSuffix);
+                                                     ctx.intervalCsv);
     ropts.snapshotter = snapshotter.get();
     const RunResult run = runMulticore(*system, streams, ropts);
     Metrics m = collectMetrics(kind, wl.suite, wl.name, *system, run);
@@ -114,10 +147,12 @@ runOneImpl(ConfigKind kind, const NamedWorkload &wl,
 
 /**
  * Effective job count for a sweep of @p total runs. Auto (opts.jobs
- * == 0) stays serial when a single-file observability output is
- * configured and D2M_JOBS doesn't explicitly override — an existing
+ * == 0) stays serial when a single-file trace output is configured
+ * and D2M_JOBS doesn't explicitly override — an existing
  * `D2M_TRACE_FILE=t.jsonl ./d2m_sweep` invocation keeps producing
- * exactly the file it always did.
+ * exactly the file it always did. Interval CSVs no longer force
+ * serial: multi-cell sweeps write per-run "iv.<slot>.csv" files
+ * whether serial or parallel.
  */
 unsigned
 resolveJobs(const SweepOptions &opts, std::size_t total)
@@ -126,12 +161,10 @@ resolveJobs(const SweepOptions &opts, std::size_t total)
     if (jobs == 0) {
         if (envU64("D2M_JOBS", 0) > 0) {
             jobs = WorkStealingPool::defaultJobs();
+        } else if (!obs::traceFilePath().empty()) {
+            jobs = 1;
         } else {
-            const char *csv = std::getenv("D2M_INTERVAL_CSV");
-            if (!obs::traceFilePath().empty() || (csv && *csv))
-                jobs = 1;
-            else
-                jobs = WorkStealingPool::defaultJobs();
+            jobs = WorkStealingPool::defaultJobs();
         }
     }
     if (total < jobs)
@@ -295,6 +328,29 @@ runSweep(const std::vector<ConfigKind> &configs,
     const bool resume = envU64("D2M_RESUME", 1) != 0;
     auto store = ResultStore::fromEnv();
 
+    // Campaign progress stream (D2M_PROGRESS_JSON + TTY status line).
+    // Created before the resume scan so resumed cells are counted; the
+    // explicit reset() after the execution loop emits the final record
+    // while the watchdog clients (whose insts counters it samples) are
+    // still alive.
+    std::vector<CampaignProgress::Cell> progressCells;
+    progressCells.reserve(specs.size());
+    for (const auto &s : specs) {
+        progressCells.push_back(
+            {s.wl->suite, s.wl->name, configKindName(s.kind)});
+    }
+    auto campaign = CampaignProgress::make(
+        CampaignProgress::fromEnv(opts.verbose),
+        std::move(progressCells));
+
+    // Per-run interval CSVs: any sweep of more than one cell writes
+    // "iv.<slot>.csv"-style files so no run overwrites another's rows
+    // (a single-cell sweep keeps the configured path byte-for-byte).
+    std::string intervalCsvBase;
+    if (const char *csv = std::getenv("D2M_INTERVAL_CSV"); csv && *csv)
+        intervalCsvBase = csv;
+    const bool perRunCsv = !intervalCsvBase.empty() && specs.size() > 1;
+
     SweepOutcome outcome;
     outcome.total = specs.size();
 
@@ -312,6 +368,8 @@ runSweep(const std::vector<ConfigKind> &configs,
                 rows[i] = prev.metrics;
                 exportRowJson(prev.row, baseSlot + i);
                 ++outcome.fromStore;
+                if (campaign)
+                    campaign->cellFromStore(i, runStatusName(prev.status));
                 switch (prev.status) {
                   case RunStatus::Ok: ++outcome.ok; break;
                   case RunStatus::Failed: ++outcome.failed; break;
@@ -356,6 +414,10 @@ runSweep(const std::vector<ConfigKind> &configs,
             // Per-job observability files: job N of this sweep writes
             // <path>.jobN so concurrent runs never share a sink.
             ctx.obsSuffix = ".job" + std::to_string(i);
+            // Heartbeat / progress / warning lines from this pool
+            // thread carry the cell's job tag so interleaved output
+            // stays attributable.
+            setThreadLogPrefix("[job" + std::to_string(i) + "] ");
             if (!obs::traceFilePath().empty()) {
                 sink = std::make_unique<obs::TraceSink>(
                     obs::traceFilePath() + ctx.obsSuffix,
@@ -366,6 +428,9 @@ runSweep(const std::vector<ConfigKind> &configs,
         WatchdogClient *client = clients[pi].get();
         ctx.progress = &client->progress;
         ctx.cancel = &client->cancel;
+        ctx.insts = &client->insts;
+        if (perRunCsv)
+            ctx.intervalCsv = perRunCsvPath(intervalCsvBase, baseSlot + i);
         std::string row;
         if (store)
             ctx.rowOut = &row;
@@ -389,6 +454,8 @@ runSweep(const std::vector<ConfigKind> &configs,
             ++attempts;
             client->rearm();
             watchdog.attach(client);
+            if (campaign)
+                campaign->cellStarted(i, attempt, &client->insts);
             if (opts.verbose) {
                 emit(ctx, vformat("  running %-10s %-14s on %s...\n",
                                   wl.suite.c_str(), wl.name.c_str(),
@@ -452,9 +519,11 @@ runSweep(const std::vector<ConfigKind> &configs,
                                   m.measureWallSec));
             }
             nOk.fetch_add(1, std::memory_order_relaxed);
+            if (campaign)
+                campaign->cellFinished(i, "ok");
             if (store) {
                 store->put({keys[i], RunStatus::Ok, seedUsed, attempts,
-                            "", m, row});
+                            "", unixNow(), m.simKips, m, row});
             }
         } else if (abandoned) {
             // Not stored and not exported: a resumed campaign must
@@ -466,6 +535,8 @@ runSweep(const std::vector<ConfigKind> &configs,
             m.status = "abandoned";
             m.attempts = attempts ? attempts : 1;
             nAbandoned.fetch_add(1, std::memory_order_relaxed);
+            if (campaign)
+                campaign->cellFinished(i, "abandoned");
         } else {
             m = Metrics{};
             m.config = configKindName(spec.kind);
@@ -476,11 +547,14 @@ runSweep(const std::vector<ConfigKind> &configs,
             m.errorMessage = error;
             row = buildFailureRow(m);
             exportRowJson(row, baseSlot + i);
+            if (campaign)
+                campaign->cellFinished(i, status);
             if (store) {
                 store->put({keys[i],
                             status == "timeout" ? RunStatus::Timeout
                                                 : RunStatus::Failed,
-                            seedUsed, attempts, error, m, row});
+                            seedUsed, attempts, error, unixNow(), 0.0,
+                            m, row});
             }
             (status == "timeout" ? nTimeout : nFailed)
                 .fetch_add(1, std::memory_order_relaxed);
@@ -504,6 +578,8 @@ runSweep(const std::vector<ConfigKind> &configs,
         // the block lands contiguously even across processes.
         if (!log.empty())
             std::fputs(log.c_str(), stderr);
+        if (parallel)
+            setThreadLogPrefix("");  // pool threads are reused
     };
 
     const unsigned jobs = resolveJobs(opts, pending.size());
@@ -516,6 +592,9 @@ runSweep(const std::vector<ConfigKind> &configs,
             pool.submit([&, pi] { executeCell(pi, /*parallel=*/true); });
         pool.wait();
     }
+    // Final progress record (and TTY newline) before the watchdog
+    // clients the reporter samples go away.
+    campaign.reset();
 
     outcome.executed = nExecuted.load();
     outcome.ok += nOk.load();
@@ -572,15 +651,38 @@ filteredWorkloads(std::vector<NamedWorkload> workloads)
 {
     const char *suite = std::getenv("D2M_SUITE_FILTER");
     const char *bench = std::getenv("D2M_BENCH_FILTER");
-    if (!suite && !bench)
-        return workloads;
-    std::vector<NamedWorkload> out;
-    for (auto &wl : workloads) {
-        if (suite && !matchesFilter(wl.suite, suite))
-            continue;
-        if (bench && !matchesFilter(wl.name, bench))
-            continue;
-        out.push_back(wl);
+    if (suite || bench) {
+        std::vector<NamedWorkload> out;
+        for (auto &wl : workloads) {
+            if (suite && !matchesFilter(wl.suite, suite))
+                continue;
+            if (bench && !matchesFilter(wl.name, bench))
+                continue;
+            out.push_back(wl);
+        }
+        workloads = std::move(out);
+    }
+    // Campaign-wide seed override: one knob repoints every workload's
+    // stream generator (the per-attempt retry jitter still applies on
+    // top of it).
+    if (std::getenv("D2M_SEED")) {
+        const std::uint64_t seed = envU64("D2M_SEED", 0);
+        for (auto &wl : workloads)
+            wl.params.seed = seed;
+    }
+    return workloads;
+}
+
+std::vector<ConfigKind>
+filteredConfigs(std::vector<ConfigKind> configs)
+{
+    const char *spec = std::getenv("D2M_CONFIG_FILTER");
+    if (!spec)
+        return configs;
+    std::vector<ConfigKind> out;
+    for (ConfigKind kind : configs) {
+        if (matchesFilter(configKindName(kind), spec))
+            out.push_back(kind);
     }
     return out;
 }

@@ -37,11 +37,12 @@ struct SweepOptions
     bool verbose = true;             //!< Progress lines to stderr.
     /**
      * Concurrent sweep jobs. 0 = auto: D2M_JOBS if set, else serial
-     * when a single-file observability output is configured
-     * (D2M_TRACE_FILE / D2M_INTERVAL_CSV, whose file names stay
-     * byte-compatible that way), else the hardware thread count.
-     * With jobs > 1 and tracing enabled, each run writes
-     * <trace>.job<N> / <csv>.job<N> instead.
+     * when a single-file trace output is configured (D2M_TRACE_FILE,
+     * whose file name stays byte-compatible that way), else the
+     * hardware thread count. With jobs > 1 and tracing enabled, each
+     * run writes <trace>.job<N> instead. Interval CSVs are per-run
+     * for any multi-cell sweep ("iv.csv" becomes "iv.<slot>.csv"),
+     * serial or parallel, so no run overwrites another's rows.
      */
     unsigned jobs = 0;
     RunOptions runOptions{};
@@ -118,10 +119,16 @@ std::vector<Metrics> runSweep(const std::vector<ConfigKind> &configs,
  */
 bool matchesFilter(const std::string &value, const std::string &spec);
 
-/** Filter by env D2M_SUITE_FILTER / D2M_BENCH_FILTER; each accepts a
- * comma-separated pattern list, see matchesFilter(). */
+/** Filter by env D2M_SUITE_FILTER / D2M_BENCH_FILTER (each a
+ * comma-separated pattern list, see matchesFilter()) and apply the
+ * campaign-wide D2M_SEED workload-seed override when set. */
 std::vector<NamedWorkload>
 filteredWorkloads(std::vector<NamedWorkload> workloads);
+
+/** Filter configuration kinds by env D2M_CONFIG_FILTER (matched
+ * against configKindName(), same pattern syntax). */
+std::vector<ConfigKind>
+filteredConfigs(std::vector<ConfigKind> configs);
 
 } // namespace d2m
 

@@ -85,6 +85,14 @@ struct StoredRun
     std::uint64_t seed = 0;      //!< Seed actually used (after jitter).
     std::uint64_t attempts = 1;  //!< Executions including retries.
     std::string error;           //!< Diagnostic for non-ok outcomes.
+    /** Host wall-clock (unix seconds) when the cell finished, and its
+     * measured simulation rate. Campaign-host telemetry only: the
+     * dashboard plots KIPS trends across resumed campaigns from these,
+     * and stats_diff's store loader deliberately omits them so stored
+     * documents still compare byte-identical across hosts. Zero in
+     * records written before these fields existed. */
+    double finishedUnix = 0;
+    double hostKips = 0;
     Metrics metrics;
     /** Verbatim D2M_STATS_JSON row (metrics+stats+intervals) for ok
      * runs, so resume reproduces the document byte-for-byte. Empty

@@ -40,6 +40,9 @@ enum CancelReason : int
 struct WatchdogClient
 {
     std::atomic<std::uint64_t> progress{0};
+    /** Committed instructions so far (campaign progress stream; the
+     * watchdog itself only watches @ref progress). */
+    std::atomic<std::uint64_t> insts{0};
     std::atomic<int> cancel{kCancelNone};
 
     /** Reset for a fresh attempt (never clears a drain cancel — the
@@ -48,6 +51,7 @@ struct WatchdogClient
     rearm()
     {
         progress.store(0, std::memory_order_relaxed);
+        insts.store(0, std::memory_order_relaxed);
         int expected = kCancelTimeout;
         cancel.compare_exchange_strong(expected, kCancelNone,
                                        std::memory_order_relaxed);

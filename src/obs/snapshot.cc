@@ -59,13 +59,13 @@ StatSnapshotter::~StatSnapshotter()
 
 std::unique_ptr<StatSnapshotter>
 StatSnapshotter::fromEnv(stats::StatGroup &root,
-                         const std::string &csv_suffix)
+                         const std::string &csv_override)
 {
     Config cfg;
     cfg.everyInsts = envU64("D2M_INTERVAL_INSTS", 0);
     cfg.everyTicks = envU64("D2M_INTERVAL_TICKS", 0);
     if (const char *csv = std::getenv("D2M_INTERVAL_CSV"); csv && *csv)
-        cfg.csvPath = csv + csv_suffix;
+        cfg.csvPath = csv_override.empty() ? csv : csv_override;
     if (cfg.everyInsts == 0 && cfg.everyTicks == 0) {
         fatal_if(!cfg.csvPath.empty(),
                  "D2M_INTERVAL_CSV requires D2M_INTERVAL_INSTS or "

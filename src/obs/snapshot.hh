@@ -75,11 +75,13 @@ class StatSnapshotter
      * Build a snapshotter from D2M_INTERVAL_INSTS / D2M_INTERVAL_TICKS
      * / D2M_INTERVAL_CSV, or null when interval stats are disabled.
      * D2M_INTERVAL_CSV without a period is a fatal config error.
-     * @p csv_suffix is appended to the CSV path — the parallel runner
-     * passes ".job<N>" so concurrent jobs write distinct files.
+     * A non-empty @p csv_override replaces the D2M_INTERVAL_CSV path —
+     * the sweep runner passes "iv.<slot>.csv"-style per-run names so
+     * every cell of a multi-run sweep keeps its interval rows (a lone
+     * run keeps the configured path byte-for-byte).
      */
     static std::unique_ptr<StatSnapshotter>
-    fromEnv(stats::StatGroup &root, const std::string &csv_suffix = "");
+    fromEnv(stats::StatGroup &root, const std::string &csv_override = "");
 
     /** Progress hook; closes an interval when a boundary is crossed. */
     void tick(std::uint64_t insts, Tick now);

@@ -167,6 +167,18 @@ TEST(CampaignResume, KillResumeByteIdenticalStats)
             << "exactly the cells finished before the kill";
     }
 
+    // Host telemetry from phase A: every durable record carries the
+    // wall-clock finish time and host simulation rate.
+    std::vector<StoredRun> phaseA;
+    {
+        ResultStore partial(store);
+        phaseA = partial.all();
+        for (const StoredRun &r : phaseA) {
+            EXPECT_GT(r.finishedUnix, 0.0) << r.key.hex();
+            EXPECT_GT(r.hostKips, 0.0) << r.key.hex();
+        }
+    }
+
     // Phase B: resume against the same store. Only the missing six
     // cells execute; exit must be clean.
     int code = runChild(store, jsonB, 0, &sig);
@@ -186,9 +198,22 @@ TEST(CampaignResume, KillResumeByteIdenticalStats)
         << "resumed document must be byte-identical to uninterrupted";
 
     // Resume was genuinely incremental: the resumed store must still
-    // hold all nine cells afterwards.
+    // hold all nine cells afterwards, every record carries host
+    // telemetry, and the pre-kill records were served from the store
+    // verbatim — their finish timestamps are untouched by phase B.
     ResultStore full(store);
     EXPECT_EQ(full.size(), 9u);
+    for (const StoredRun &r : full.all()) {
+        EXPECT_GT(r.finishedUnix, 0.0) << r.key.hex();
+        EXPECT_GT(r.hostKips, 0.0) << r.key.hex();
+    }
+    for (const StoredRun &a : phaseA) {
+        StoredRun after;
+        ASSERT_TRUE(full.lookup(a.key, &after));
+        EXPECT_EQ(after.finishedUnix, a.finishedUnix)
+            << "resume must not re-stamp stored cells";
+        EXPECT_EQ(after.hostKips, a.hostKips);
+    }
 
     std::remove(jsonA.c_str());
     std::remove(jsonB.c_str());

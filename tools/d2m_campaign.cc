@@ -3,6 +3,13 @@
  * Campaign driver: the full (configs x workloads) grid as one
  * crash-safe, resumable run (DESIGN.md §13).
  *
+ * Usage: d2m_campaign [--manifest=FILE]
+ *
+ * A manifest (harness/manifest.hh) declares the whole campaign in one
+ * file; applying it seeds the environment, and variables already set
+ * in the environment win over manifest values — so a manifest-driven
+ * campaign is exactly the equivalent env-var-driven one.
+ *
  * Environment:
  *   D2M_STORE_DIR       durable result store; enables resume
  *   D2M_RESUME=0        re-execute everything despite the store
@@ -10,8 +17,11 @@
  *   D2M_RUN_RETRIES     extra attempts per failed/stalled cell
  *   D2M_STATS_JSON      combined stats document (byte-identical
  *                       whether or not the campaign was interrupted)
- *   D2M_SUITE_FILTER / D2M_BENCH_FILTER / D2M_INSTS_PER_CORE /
- *   D2M_JOBS / D2M_QUIET as usual.
+ *   D2M_PROGRESS_JSON   live campaign status records, one JSON per
+ *                       line (plus a TTY status line on stderr);
+ *                       D2M_PROGRESS_SEC sets the period (default 2)
+ *   D2M_CONFIG_FILTER / D2M_SUITE_FILTER / D2M_BENCH_FILTER /
+ *   D2M_INSTS_PER_CORE / D2M_SEED / D2M_JOBS / D2M_QUIET as usual.
  *
  * Exit code: 0 all cells ok, 2 some cells failed or timed out,
  * 3 interrupted (drained) before the grid completed.
@@ -33,14 +43,64 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "harness/manifest.hh"
 #include "harness/runner.hh"
 #include "harness/store.hh"
 #include "workload/suites.hh"
 
+namespace
+{
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+                 "usage: d2m_campaign [--manifest=FILE]\n\n"
+                 "Runs the full (configs x workloads) grid as one "
+                 "crash-safe, resumable campaign.\nA manifest seeds "
+                 "the D2M_* environment (already-set variables win).\n\n"
+                 "Manifest keys:\n");
+    const char *section = "";
+    for (const auto &k : d2m::manifestKeys()) {
+        if (std::strcmp(section, k.section) != 0) {
+            section = k.section;
+            std::fprintf(out, "  [%s]\n", section);
+        }
+        std::fprintf(out, "    %-16s -> %s%s\n", k.key, k.env,
+                     k.numeric ? " (integer)" : "");
+    }
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace d2m;
+
+    std::string manifestPath;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(stdout);
+            return 0;
+        } else if (std::strncmp(arg, "--manifest=", 11) == 0) {
+            manifestPath = arg + 11;
+        } else if (std::strcmp(arg, "--manifest") == 0 &&
+                   i + 1 < argc) {
+            manifestPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "d2m_campaign: unknown argument '%s'\n",
+                         arg);
+            usage(stderr);
+            return 1;
+        }
+    }
+    if (!manifestPath.empty()) {
+        Manifest m = parseManifestFile(manifestPath);
+        applyManifest(m, std::getenv("D2M_QUIET") == nullptr);
+    }
 
     SweepOptions opts;
     opts.verbose = std::getenv("D2M_QUIET") == nullptr;
@@ -63,7 +123,7 @@ main()
         };
     }
 
-    const auto configs = allConfigs();
+    const auto configs = filteredConfigs(allConfigs());
     const auto workloads = filteredWorkloads(allSuites());
     std::fprintf(stderr, "d2m_campaign: %zu configs x %zu workloads\n",
                  configs.size(), workloads.size());
