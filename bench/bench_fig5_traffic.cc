@@ -20,7 +20,7 @@ main()
            "Sembrant et al., HPCA'17, Figure 5");
 
     const auto workloads = benchWorkloads();
-    const auto configs = allConfigs();
+    const auto configs = filteredConfigs(allConfigs());
     const auto rows = runSweep(configs, workloads, benchOptions());
     writeBenchJson("fig5_traffic", rows);
 

@@ -18,7 +18,7 @@ main()
            "-40% vs Base-3L)");
 
     const auto workloads = benchWorkloads();
-    const auto configs = allConfigs();
+    const auto configs = filteredConfigs(allConfigs());
     const auto rows = runSweep(configs, workloads, benchOptions());
     writeBenchJson("fig6_edp", rows);
 

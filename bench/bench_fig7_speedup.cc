@@ -19,7 +19,7 @@ main()
            "and Section V-D (-30% L1 miss latency)");
 
     const auto workloads = benchWorkloads();
-    const auto configs = allConfigs();
+    const auto configs = filteredConfigs(allConfigs());
     const auto rows = runSweep(configs, workloads, benchOptions());
     writeBenchJson("fig7_speedup", rows);
 

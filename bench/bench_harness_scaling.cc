@@ -129,7 +129,7 @@ main()
     }
 
     // ---- 3. Sweep wall-clock, serial vs 4 jobs ----------------------
-    const auto configs = allConfigs();
+    const auto configs = filteredConfigs(allConfigs());
     std::printf("sweep: %zu configs x %zu workloads, host has %u "
                 "hardware threads\n",
                 configs.size(), reps.size(),

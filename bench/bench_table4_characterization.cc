@@ -17,7 +17,7 @@ main()
            "Sembrant et al., HPCA'17, Table IV");
 
     const auto workloads = benchWorkloads();
-    const auto configs = allConfigs();
+    const auto configs = filteredConfigs(allConfigs());
     const auto rows = runSweep(configs, workloads, benchOptions());
     writeBenchJson("table4_characterization", rows);
 

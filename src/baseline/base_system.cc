@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "fault/base_fault_model.hh"
 #include "obs/debug.hh"
+#include "obs/selfprof.hh"
 #include "obs/trace.hh"
 
 namespace d2m
@@ -120,10 +121,13 @@ BaselineSystem::invalidateInNode(NodeId n, Addr line_addr,
 Cycles
 BaselineSystem::invalidateSharers(ClassicLine &llc_line, NodeId except)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::Invalidate);
     bool any = false;
     for (NodeId n = 0; n < params_.numNodes; ++n) {
         if (n == except || !((llc_line.sharers >> n) & 1))
             continue;
+        if (auto *census = laneCensus()) [[unlikely]]
+            census->noteInvalidation(except, n);
         noc_.send(farSide(), n, MsgType::Inv);
         std::uint64_t mval = 0;
         if (invalidateInNode(n, llc_line.lineAddr, mval)) {
@@ -179,12 +183,20 @@ BaselineSystem::llcService(NodeId node, Addr line_addr, bool want_excl,
                            Cycles &lat, ServiceLevel &level,
                            Mesi &granted)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::DirProtocol);
     lat += noc_.send(node, farSide(),
                      want_excl ? MsgType::ReadExReq : MsgType::ReadReq);
     // Associative LLC tag search + directory consultation.
     energy_.count(Structure::LlcTag, llc_->assoc());
     energy_.count(Structure::Directory);
     lat += params_.lat.directory;
+    if (auto *census = laneCensus()) [[unlikely]] {
+        // The baseline LLC is monolithic behind the directory: every
+        // LLC service is a shared-tier access from the lane census's
+        // point of view.
+        census->noteSharedTier(node, params_.lat.directory);
+        census->noteLlc(node, farSide());
+    }
 
     std::uint64_t value = 0;
     ClassicLine *line = llc_->lookup(line_addr);
@@ -353,6 +365,7 @@ BaselineSystem::installPrivate(NodeId node, AccessType type, Addr line_addr,
 AccessResult
 BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::MemAccess);
     if (faults_) [[unlikely]]
         faults_->onAccess();
     ++stats_.accesses;
@@ -386,6 +399,8 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
             energy_.count(Structure::LlcTag, llc_->assoc());
             energy_.count(Structure::Directory);
             lat += params_.lat.directory;
+            if (auto *census = laneCensus()) [[unlikely]]
+                census->noteSharedTier(node, params_.lat.directory);
             ClassicLine *llcl = llc_->probe(line_addr);
             panic_if(!llcl, "upgrade for a line absent from inclusive LLC");
             lat += invalidateSharers(*llcl, node);

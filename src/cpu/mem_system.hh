@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "common/env.hh"
 #include "common/params.hh"
 #include "common/types.hh"
 #include "energy/energy_model.hh"
@@ -25,6 +26,7 @@
 #include "mem/main_memory.hh"
 #include "mem/page_table.hh"
 #include "noc/interconnect.hh"
+#include "obs/selfprof.hh"
 #include "sim/sim_object.hh"
 
 namespace d2m
@@ -50,6 +52,15 @@ class MemorySystem : public SimObject
             faults_->setHopLatency(noc_hop);
             noc_.setFaultInjector(faults_.get());
             // Derived systems bind the FaultHost in their constructors.
+        }
+        // Lane-partition census (obs/selfprof.hh): D2M_LANES=k stripes
+        // the cores into k prospective PDES lanes and classifies every
+        // simulated interaction against that partition. Wired like the
+        // fault injector so the interconnect can classify messages.
+        if (const std::uint64_t k = envU64("D2M_LANES", 0); k > 0) {
+            lanes_ = std::make_unique<obs::LaneCensus>(
+                params.numNodes, static_cast<unsigned>(k));
+            noc_.setLaneCensus(lanes_.get());
         }
     }
 
@@ -89,6 +100,30 @@ class MemorySystem : public SimObject
     FaultInjector *faultInjector() { return faults_.get(); }
     const FaultInjector *faultInjector() const { return faults_.get(); }
 
+    /** Lane census, or nullptr when D2M_LANES is unset. */
+    obs::LaneCensus *laneCensus() { return lanes_.get(); }
+    const obs::LaneCensus *laneCensus() const { return lanes_.get(); }
+
+    /** Cache the run's self-profiler (null = off) so hot-path scopes
+     * test a member pointer instead of the thread-local; runMulticore
+     * wires it for the duration of the run. */
+    void
+    setSelfProf(obs::SelfProfiler *prof)
+    {
+        selfProf_ = prof;
+        noc_.setSelfProf(prof);
+    }
+    obs::SelfProfiler *selfProf() const { return selfProf_; }
+
+    /** Census counters follow the warmup reset with the Stats tree. */
+    void
+    resetStats() override
+    {
+        SimObject::resetStats();
+        if (lanes_)
+            lanes_->reset();
+    }
+
   protected:
     /** Endpoint id of the far side of the interconnect. */
     std::uint32_t farSide() const { return params_.numNodes; }
@@ -100,6 +135,8 @@ class MemorySystem : public SimObject
     EnergyAccount energy_;
     std::unique_ptr<FaultStats> faultStats_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<obs::LaneCensus> lanes_;
+    obs::SelfProfiler *selfProf_ = nullptr;
 };
 
 } // namespace d2m

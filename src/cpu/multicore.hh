@@ -23,7 +23,11 @@
 #include "mem/golden_memory.hh"
 #include "workload/stream.hh"
 
-namespace d2m::obs { class StatSnapshotter; }
+namespace d2m::obs
+{
+class StatSnapshotter;
+class SelfProfiler;
+} // namespace d2m::obs
 
 namespace d2m
 {
@@ -70,6 +74,14 @@ struct RunOptions
      * so concurrent sweep jobs never share snapshot state.
      */
     obs::StatSnapshotter *snapshotter = nullptr;
+    /**
+     * Self-profiler for THIS run (null = disabled; see
+     * obs/selfprof.hh). Owned by the caller like the snapshotter; the
+     * run loop attaches it to the executing thread, resets it at the
+     * warmup boundary, and emits its chrome-trace counters at each
+     * heartbeat.
+     */
+    obs::SelfProfiler *selfprof = nullptr;
 
     /**
      * Campaign-watchdog liveness counter (null = unmonitored). The

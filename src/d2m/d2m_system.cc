@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "fault/d2m_fault_model.hh"
 #include "obs/debug.hh"
+#include "obs/selfprof.hh"
 #include "obs/trace.hh"
 
 namespace d2m
@@ -218,6 +219,7 @@ D2mSystem::ActiveMd
 D2mSystem::lookupMetadata(NodeId node, const MemAccess &acc, bool side_i,
                           Cycles &lat, unsigned &md_level)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::MdLookup);
     NodeCtx &ctx = nodes_[node];
     auto &md1 = md1For(node, side_i);
 
@@ -292,6 +294,7 @@ D2mSystem::ActiveMd
 D2mSystem::caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
                  std::uint64_t pregion, Cycles &lat)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::Md3);
     ++stats_.dirIndirections;
     ++events_.md3Lookups;
     DTRACE(MD, this, "node%u MD miss region 0x%llx: case D through MD3",
@@ -299,6 +302,8 @@ D2mSystem::caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
     lat += noc_.send(node, farSide(), MsgType::ReadMM);
     energy_.count(Structure::Md3);
     lat += params_.lat.md3;
+    if (auto *census = laneCensus()) [[unlikely]]
+        census->noteSharedTier(node, params_.lat.md3);
     lockRegion(pregion);
 
     LiVector lis{};
@@ -723,6 +728,11 @@ D2mSystem::invalidateLineAtNode(NodeId n, std::uint64_t pregion,
                                 unsigned line_idx, Addr line_addr,
                                 const LocationInfo &new_master)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::Invalidate);
+    if (auto *census = laneCensus()) [[unlikely]] {
+        census->noteInvalidation(new_master.kind == LiKind::Node
+                                     ? new_master.node : n, n);
+    }
     ++stats_.invalidationsReceived;
     ActiveMd amd = activeMdFor(n, pregion);
     panic_if(!amd.tracked(), "Inv for an untracked region");
@@ -1083,6 +1093,7 @@ D2mSystem::fetchFromMaster(NodeId node, const LocationInfo &master,
                            bool invalidate_master, Cycles &lat,
                            ServiceLevel &level, bool &was_mru)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::FetchMaster);
     was_mru = false;
     // One LI hop per master indirection: the requester follows its
     // location info straight to the holder (no tag probes on the way).
@@ -1096,6 +1107,8 @@ D2mSystem::fetchFromMaster(NodeId node, const LocationInfo &master,
       case LiKind::Llc: {
         const std::uint32_t slice = master.node;
         const std::uint32_t ep = sliceEndpoint(slice);
+        if (auto *census = laneCensus()) [[unlikely]]
+            census->noteLlc(node, ep);
         lat += noc_.send(node, ep, MsgType::ReadReq);
         std::uint32_t set = 0;
         // The region's scramble governs LLC indexing; all trackers of
@@ -1135,6 +1148,7 @@ D2mSystem::fetchFromMaster(NodeId node, const LocationInfo &master,
         return value;
       }
       case LiKind::Mem: {
+        obs::ProfScope mem_prof(selfProf_, obs::ProfSite::Memory);
         lat += noc_.send(node, farSide(), MsgType::ReadReq);
         lat += params_.lat.dram;
         ++stats_.dramAccesses;
@@ -1197,6 +1211,7 @@ std::uint64_t
 D2mSystem::caseC(NodeId node, ActiveMd &md, std::uint64_t pregion,
                  Addr line_addr, Cycles &lat)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::CohUpgrade);
     ++events_.c;
     ++stats_.dirIndirections;
     const unsigned idx = lineIdxOf(line_addr);
@@ -1209,6 +1224,8 @@ D2mSystem::caseC(NodeId node, ActiveMd &md, std::uint64_t pregion,
     lat += noc_.send(node, farSide(), MsgType::ReadExReq);
     energy_.count(Structure::Md3);
     lat += params_.lat.md3;
+    if (auto *census = laneCensus()) [[unlikely]]
+        census->noteSharedTier(node, params_.lat.md3);
     lockRegion(pregion);
 
     Md3Entry *e3 = md3_->probe(pregion);
@@ -1343,6 +1360,7 @@ D2mSystem::pressureEpoch(Tick now)
 AccessResult
 D2mSystem::access(NodeId node, const MemAccess &acc, Tick now)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::MemAccess);
     pressureEpoch(now);
     if (faults_) [[unlikely]]
         faults_->onAccess();
@@ -1377,6 +1395,7 @@ D2mSystem::serviceLine(NodeId node, const MemAccess &acc, bool side_i,
                        ActiveMd md, std::uint64_t pregion, Addr line_addr,
                        unsigned md_level, Cycles lat)
 {
+    obs::ProfScope prof(selfProf_, obs::ProfSite::ServiceLine);
     const unsigned idx = lineIdxOf(line_addr);
     const bool store = isWrite(acc.type);
     AccessResult res;

@@ -109,6 +109,7 @@ manifestKeys()
         {"grid", "suites", "D2M_SUITE_FILTER", false},
         {"grid", "benchmarks", "D2M_BENCH_FILTER", false},
         {"grid", "insts_per_core", "D2M_INSTS_PER_CORE", true},
+        {"grid", "nodes", "D2M_NODES", true},
         {"grid", "warmup", "D2M_WARMUP", true},
         {"grid", "seed", "D2M_SEED", true},
         {"obs", "heartbeat_minsts", "D2M_HEARTBEAT", true},
@@ -119,6 +120,9 @@ manifestKeys()
         {"obs", "interval_ticks", "D2M_INTERVAL_TICKS", true},
         {"obs", "interval_csv", "D2M_INTERVAL_CSV", false},
         {"obs", "bench_json_dir", "D2M_BENCH_JSON_DIR", false},
+        {"obs", "selfprof", "D2M_SELFPROF", true},
+        {"obs", "selfprof_top", "D2M_SELFPROF_TOP", true},
+        {"obs", "lanes", "D2M_LANES", true},
     };
     return keys;
 }

@@ -250,7 +250,8 @@ reserveRunSlots(std::size_t n)
 
 std::string
 buildRunRow(const Metrics &m, MemorySystem &system,
-            const obs::StatSnapshotter *intervals)
+            const obs::StatSnapshotter *intervals,
+            const std::string &selfprof)
 {
     std::ostringstream stats;
     system.printJson(stats);
@@ -261,6 +262,8 @@ buildRunRow(const Metrics &m, MemorySystem &system,
                       ",\"stats\":" + stats.str();
     if (intervals)
         row += ",\"intervals\":" + intervals->rowsJson();
+    if (!selfprof.empty())
+        row += ",\"selfprof\":" + selfprof;
     row += "}";
     return row;
 }

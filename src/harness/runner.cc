@@ -16,6 +16,7 @@
 #include "harness/results_json.hh"
 #include "harness/store.hh"
 #include "harness/watchdog.hh"
+#include "obs/selfprof.hh"
 #include "obs/snapshot.hh"
 #include "obs/trace.hh"
 
@@ -89,6 +90,18 @@ struct RunLength
     std::uint64_t warmup = 0;
 };
 
+/** opts.baseParams with the D2M_NODES core-count override applied.
+    Used for both system construction and store-key hashing, so runs
+    at different node counts can never collide in a result store. */
+SystemParams
+resolveBaseParams(const SweepOptions &opts)
+{
+    SystemParams p = opts.baseParams;
+    if (const std::uint64_t n = envU64("D2M_NODES", 0))
+        p.numNodes = static_cast<unsigned>(n);
+    return p;
+}
+
 RunLength
 resolveRunLength(const NamedWorkload &wl, const SweepOptions &opts)
 {
@@ -108,7 +121,7 @@ Metrics
 runOneImpl(ConfigKind kind, const NamedWorkload &wl,
            const SweepOptions &opts, const RunContext &ctx)
 {
-    auto system = makeSystem(kind, opts.baseParams);
+    auto system = makeSystem(kind, resolveBaseParams(opts));
     const RunLength len = resolveRunLength(wl, opts);
 
     auto streams = makeStreams(wl, system->params().numNodes,
@@ -125,11 +138,26 @@ runOneImpl(ConfigKind kind, const NamedWorkload &wl,
     auto snapshotter = obs::StatSnapshotter::fromEnv(*system,
                                                      ctx.intervalCsv);
     ropts.snapshotter = snapshotter.get();
+    // Per-run self-profiler (D2M_SELFPROF): same ownership story as
+    // the snapshotter — one instance per run, threaded through
+    // RunOptions, never shared across sweep jobs.
+    auto selfprof = obs::SelfProfiler::fromEnv();
+    ropts.selfprof = selfprof.get();
     const RunResult run = runMulticore(*system, streams, ropts);
     Metrics m = collectMetrics(kind, wl.suite, wl.name, *system, run);
+    std::string sp;
+    if (selfprof || system->laneCensus()) {
+        const obs::SelfProfRate rate{
+            run.simKips, run.warmupWallSec, run.measureWallSec,
+            run.heartbeats, envU64("D2M_HEARTBEAT", 0) * 1'000'000};
+        sp = obs::selfprofSection(selfprof.get(), system->laneCensus(),
+                                  rate);
+    }
+    if (selfprof)
+        emit(ctx, selfprof->topTable(run.measureWallSec));
     std::string row;
     if (ctx.rowOut || !resultsJsonPath().empty())
-        row = buildRunRow(m, *system, snapshotter.get());
+        row = buildRunRow(m, *system, snapshotter.get(), sp);
     exportRowJson(row, ctx.slot);
     if (ctx.rowOut)
         *ctx.rowOut = std::move(row);
@@ -362,7 +390,7 @@ runSweep(const std::vector<ConfigKind> &configs,
         if (store) {
             const RunLength len = resolveRunLength(*specs[i].wl, opts);
             keys[i] = makeRunKey(specs[i].kind, *specs[i].wl, len.warmup,
-                                 len.measured, opts.baseParams);
+                                 len.measured, resolveBaseParams(opts));
             StoredRun prev;
             if (resume && store->lookup(keys[i], &prev)) {
                 rows[i] = prev.metrics;

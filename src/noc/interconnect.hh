@@ -25,6 +25,7 @@
 #include "fault/fault_injector.hh"
 #include "noc/message.hh"
 #include "obs/debug.hh"
+#include "obs/selfprof.hh"
 #include "obs/trace.hh"
 #include "sim/sim_object.hh"
 
@@ -69,6 +70,7 @@ class Interconnect : public SimObject
                  "bad interconnect endpoint %u -> %u", src, dst);
         if (src == dst)
             return 0;  // near-side access: never crosses the NoC
+        obs::ProfScope prof(selfProf_, obs::ProfSite::NocSend);
         const unsigned bytes = msgBytes(type, lineSize_);
         ++totalMessages;
         totalBytes += bytes;
@@ -110,11 +112,20 @@ class Interconnect : public SimObject
             lat += f.extraLatency;
         }
         sendDelay.sample(lat);
+        // One census note per send() call (retransmissions are link
+        // phenomena, not extra lane interactions); the observed
+        // latency feeds the conservative lookahead distribution.
+        if (census_) [[unlikely]]
+            census_->noteMessage(src, dst, lat);
         return lat;
     }
 
     /** Bind the fault injector modeling link drops/delays. */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Bind the lane census classifying messages (obs/selfprof.hh). */
+    void setLaneCensus(obs::LaneCensus *census) { census_ = census; }
+    void setSelfProf(obs::SelfProfiler *prof) { selfProf_ = prof; }
 
     /**
      * Multicast @p type from @p src to every node whose bit is set in
@@ -160,6 +171,8 @@ class Interconnect : public SimObject
     unsigned lineSize_;
     Cycles hopLatency_;
     FaultInjector *faults_ = nullptr;
+    obs::LaneCensus *census_ = nullptr;
+    obs::SelfProfiler *selfProf_ = nullptr;
     std::array<std::uint64_t, static_cast<size_t>(MsgType::NUM_TYPES)>
         perType_;
 };

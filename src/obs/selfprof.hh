@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Simulation self-profiling and lane-partition telemetry
+ * (DESIGN.md §15).
+ *
+ * Two independent instruments share this header because both answer
+ * the same question — is a parallel (PDES) split of one run worth it,
+ * and along which seams? (ROADMAP item 1):
+ *
+ *  - SelfProfiler: a hierarchical wall-time profiler of the simulator
+ *    itself. Scoped RAII timers (ProfScope) push frames onto a
+ *    thread-local stack; each distinct (parent, site) pair becomes one
+ *    node of a call tree with inclusive nanoseconds and call counts.
+ *    Enabled by D2M_SELFPROF=1; when off, every ProfScope compiles to
+ *    a single thread-local null check (the traceEvent() pattern), so
+ *    instrumentation stays in hot paths permanently.
+ *
+ *  - LaneCensus: counts every simulated cross-component interaction
+ *    (NoC messages, MD3/directory lookups, LLC accesses, cross-core
+ *    invalidations) and classifies it against a prospective lane
+ *    partition of D2M_LANES=k (cores striped node % k; the far-side
+ *    MD3/LLC/memory endpoint is the shared service tier). It also
+ *    keeps the full (node+1)² interaction matrix and the distribution
+ *    of observed cross-endpoint latencies — the conservative PDES
+ *    lookahead window — so tools/d2m_laneplan can re-evaluate any k
+ *    post hoc from one stats document. Counters are pure functions of
+ *    the simulated event stream: byte-identical across serial /
+ *    parallel sweeps and across campaign resume.
+ */
+
+#ifndef D2M_OBS_SELFPROF_HH
+#define D2M_OBS_SELFPROF_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace d2m::obs
+{
+
+/**
+ * Static instrumentation sites. A fixed enum (not dynamic
+ * registration) keeps ProfScope construction allocation-free and
+ * gives the JSON/table/chrome-trace emitters a stable name table.
+ */
+enum class ProfSite : std::uint8_t
+{
+    Kernel,       //!< One whole kernel-loop iteration (root scope).
+    Sched,        //!< Kernel loop: next-core selection scan.
+    Workload,     //!< Workload generation (stream next()).
+    Translate,    //!< Page-table translation in the kernel loop.
+    CoreModel,    //!< OoO core model (issue windows, late hits).
+    MemAccess,    //!< MemorySystem::access() (whole transaction).
+    MdLookup,     //!< D2M MD1/MD2 metadata lookup path.
+    Md3,          //!< D2M MD3 consultation (case D).
+    ServiceLine,  //!< D2M line service after metadata resolution.
+    FetchMaster,  //!< D2M master fetch (LLC / remote node / memory).
+    CohUpgrade,   //!< D2M write upgrade through MD3 (case C).
+    Invalidate,   //!< Cross-core invalidation + LI update delivery.
+    DirProtocol,  //!< Baseline LLC tag search + directory protocol.
+    NocSend,      //!< Interconnect message accounting.
+    Memory,       //!< DRAM reads/writes.
+    ValueCheck,   //!< Golden-memory value checking.
+    Invariants,   //!< Periodic invariant checks.
+    Snapshot,     //!< Interval-stats snapshotting.
+    NUM_SITES
+};
+
+/** Short stable site name ("sched", "md_lookup", ...). */
+const char *profSiteName(ProfSite s);
+
+/** Hierarchical wall-time self-profiler for one run. */
+class SelfProfiler
+{
+  public:
+    /** One call-tree node: a distinct (parent chain, site) pair. */
+    struct Node
+    {
+        ProfSite site;
+        std::int32_t parent;       //!< Node index; -1 = root child.
+        std::uint64_t ns = 0;      //!< Inclusive wall nanoseconds.
+        std::uint64_t calls = 0;
+        std::int32_t firstChild = -1;
+        std::int32_t nextSibling = -1;
+    };
+
+    /** D2M_SELFPROF=1 enables; D2M_SELFPROF_TOP sizes the stderr
+     * table. @return null when profiling is off. */
+    static std::unique_ptr<SelfProfiler> fromEnv();
+
+    explicit SelfProfiler(std::uint64_t top_n = 10) : topN_(top_n) {}
+
+    /**
+     * Warmup -> measure boundary: zero all accumulated time and call
+     * counts so the reported tree covers exactly the measured phase
+     * (tree structure is kept; it is a deterministic property of the
+     * execution path, not of timing).
+     */
+    void phaseReset();
+
+    /** Push a frame for @p site under the current frame. */
+    void enter(ProfSite site);
+
+    /** Pop the current frame, charging its elapsed time. */
+    void leave();
+
+    bool stackEmpty() const { return stack_.empty(); }
+    const std::vector<Node> &tree() const { return nodes_; }
+    std::uint64_t topN() const { return topN_; }
+
+    /** Self time of node @p i: inclusive minus children inclusive. */
+    std::uint64_t selfNs(std::size_t i) const;
+
+    /** Total nanoseconds attributed at depth 1 (tree coverage). */
+    std::uint64_t attributedNs() const;
+
+    /**
+     * The "wall" member of the selfprof JSON section: total /
+     * attributed / explicit unattributed remainder, plus the full
+     * tree (children in site-enum order; integer microseconds).
+     * @param total_sec the measured-phase wall-clock this tree is
+     *                  accounting for (SimRateProfiler's measurement).
+     */
+    std::string wallJson(double total_sec) const;
+
+    /** Human top-N flat table (by self time), one trailing newline
+     * per line, ready for the runner's log buffer. */
+    std::string topTable(double total_sec) const;
+
+    /** Emit one TraceKind::SelfProf record per depth-1 site with
+     * cumulative microseconds + calls (chrome-trace counter track). */
+    void emitTraceCounters() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Frame
+    {
+        std::int32_t node;
+        Clock::time_point t0;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<Frame> stack_;
+    std::int32_t rootFirst_ = -1;
+    std::uint64_t topN_;
+};
+
+/**
+ * The profiler observed by ProfScope on this thread; null = disabled.
+ * thread_local for the same reason as obs::globalSink: parallel sweep
+ * jobs each attach their own run's profiler.
+ */
+extern thread_local SelfProfiler *activeSelfProf;
+
+/** Attach @p prof for a scope (the run loop); restores on exit. */
+class SelfProfAttach
+{
+  public:
+    explicit SelfProfAttach(SelfProfiler *prof)
+        : prev_(activeSelfProf)
+    {
+        if (prof)
+            activeSelfProf = prof;
+    }
+
+    ~SelfProfAttach() { activeSelfProf = prev_; }
+
+    SelfProfAttach(const SelfProfAttach &) = delete;
+    SelfProfAttach &operator=(const SelfProfAttach &) = delete;
+
+  private:
+    SelfProfiler *prev_;
+};
+
+/**
+ * RAII scoped timer. When profiling is off (the default) construction
+ * and destruction are each a single thread-local null check — safe on
+ * every hot path, including per-NoC-message. Destruction during
+ * exception unwind pops the frame like any other exit.
+ */
+class ProfScope
+{
+  public:
+    explicit ProfScope(ProfSite site)
+    {
+        if (!activeSelfProf) [[likely]]
+            return;
+        prof_ = activeSelfProf;
+        prof_->enter(site);
+    }
+
+    /** Hot-loop variant: the caller already holds the profiler
+     * pointer (e.g. RunOptions::selfprof hoisted into a local), so
+     * the disabled path is a register test instead of a thread-local
+     * load per scope. */
+    ProfScope(SelfProfiler *prof, ProfSite site)
+    {
+        if (!prof) [[likely]]
+            return;
+        prof_ = prof;
+        prof_->enter(site);
+    }
+
+    ~ProfScope()
+    {
+        if (prof_) [[unlikely]]
+            prof_->leave();
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    SelfProfiler *prof_ = nullptr;
+};
+
+/** Lane-partition census for one run (D2M_LANES=k; 0 = off). */
+class LaneCensus
+{
+  public:
+    /** @param num_nodes cores/endpoints 0..N-1; endpoint N = far side.
+     *  @param k prospective lane count (cores striped node % k). */
+    LaneCensus(unsigned num_nodes, unsigned k);
+
+    /** Warmup boundary: zero every counter. */
+    void reset();
+
+    unsigned numNodes() const { return nodes_; }
+    unsigned lanes() const { return k_; }
+
+    /** Lane of endpoint @p ep (shared far-side tier = lane count). */
+    unsigned lane(std::uint32_t ep) const
+    {
+        return ep >= nodes_ ? k_ : ep % k_;
+    }
+
+    /** One demand access initiated by @p node (per-lane load). */
+    void noteAccess(std::uint32_t node)
+    {
+        ++nodeLoad_[node];
+        ++eventsTotal_;
+    }
+
+    /** One counted interconnect message with its observed latency. */
+    void
+    noteMessage(std::uint32_t src, std::uint32_t dst, std::uint64_t lat)
+    {
+        ++matrix_[src * (nodes_ + 1) + dst];
+        ++lookahead_[lat];
+        const unsigned ls = lane(src), ld = lane(dst);
+        if (ls == k_ || ld == k_)
+            ++msgShared_;
+        else if (ls == ld)
+            ++msgLocal_;
+        else
+            ++msgCross_;
+    }
+
+    /** One MD3 / directory consultation by @p node, with the service
+     * latency it contributes to the lookahead window. */
+    void noteSharedTier(std::uint32_t node, std::uint64_t lat)
+    {
+        (void)node;
+        ++sharedTierAccesses_;
+        ++lookahead_[lat];
+    }
+
+    /** One LLC data access by @p node served at @p endpoint (an NS
+     * slice's node id, or the far side for FS/baseline LLCs). */
+    void noteLlc(std::uint32_t node, std::uint32_t endpoint)
+    {
+        const unsigned ln = lane(node), le = lane(endpoint);
+        if (le == k_)
+            ++llcShared_;
+        else if (ln == le)
+            ++llcLocal_;
+        else
+            ++llcCross_;
+    }
+
+    /** One invalidation / LI update delivered to @p target on behalf
+     * of writer @p writer. */
+    void noteInvalidation(std::uint32_t writer, std::uint32_t target)
+    {
+        if (lane(writer) == lane(target))
+            ++invLocal_;
+        else
+            ++invCross_;
+    }
+
+    std::uint64_t messagesLocal() const { return msgLocal_; }
+    std::uint64_t messagesCross() const { return msgCross_; }
+    std::uint64_t messagesShared() const { return msgShared_; }
+    std::uint64_t invalidationsLocal() const { return invLocal_; }
+    std::uint64_t invalidationsCross() const { return invCross_; }
+    std::uint64_t llcLocal() const { return llcLocal_; }
+    std::uint64_t llcCross() const { return llcCross_; }
+    std::uint64_t llcShared() const { return llcShared_; }
+    std::uint64_t sharedTierAccesses() const
+    {
+        return sharedTierAccesses_;
+    }
+    const std::vector<std::uint64_t> &nodeLoad() const
+    {
+        return nodeLoad_;
+    }
+    const std::map<std::uint64_t, std::uint64_t> &lookahead() const
+    {
+        return lookahead_;
+    }
+
+    /** The "lanes" member of the selfprof JSON section. Every field
+     * is a simulated-event count: deterministic byte-for-byte. */
+    std::string json() const;
+
+  private:
+    unsigned nodes_;
+    unsigned k_;
+    std::uint64_t eventsTotal_ = 0;
+    std::vector<std::uint64_t> nodeLoad_;   //!< Accesses per node.
+    std::vector<std::uint64_t> matrix_;     //!< (nodes+1)² messages.
+    std::uint64_t msgLocal_ = 0, msgCross_ = 0, msgShared_ = 0;
+    std::uint64_t invLocal_ = 0, invCross_ = 0;
+    std::uint64_t llcLocal_ = 0, llcCross_ = 0, llcShared_ = 0;
+    std::uint64_t sharedTierAccesses_ = 0;
+    /** Observed latency -> count; std::map for sorted, deterministic
+     * JSON emission. The minimum key is the conservative lookahead. */
+    std::map<std::uint64_t, std::uint64_t> lookahead_;
+};
+
+/** Host-rate numbers folded into the selfprof section (satellite of
+ * obs/profiler.hh: KIPS, heartbeats and phase wall-clocks now land in
+ * the same "selfprof" JSON object as the timer tree). */
+struct SelfProfRate
+{
+    double simKips = 0;
+    double warmupWallSec = 0;
+    double measureWallSec = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t heartbeatPeriodInsts = 0;
+};
+
+/**
+ * Assemble the complete "selfprof" run-row section:
+ *   {"rate":{...}[,"wall":{...}][,"lanes":{...}]}
+ * "wall" appears when @p prof is non-null (D2M_SELFPROF=1), "lanes"
+ * when @p lanes is non-null (D2M_LANES>0). Rate fields reuse the
+ * metrics field names (sim_kips, *_wall_sec) so every existing
+ * host-timing normalizer strips them too.
+ */
+std::string selfprofSection(const SelfProfiler *prof,
+                            const LaneCensus *lanes,
+                            const SelfProfRate &rate);
+
+} // namespace d2m::obs
+
+#endif // D2M_OBS_SELFPROF_HH

@@ -7,6 +7,7 @@
 #include "noc/message.hh"
 #include "obs/debug.hh"
 #include "obs/json.hh"
+#include "obs/selfprof.hh"
 
 namespace d2m::obs
 {
@@ -25,7 +26,7 @@ constexpr const char *kKindNames[] = {
     "access_issue", "access_complete", "li_hop", "region_class",
     "coh_upgrade", "coh_downgrade", "noc_send", "noc_recv",
     "fault_inject", "fault_detect", "fault_recover", "stats_reset",
-    "heartbeat", "run_end",
+    "heartbeat", "selfprof", "run_end",
 };
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
               static_cast<std::size_t>(TraceKind::NUM_KINDS));
@@ -145,6 +146,12 @@ traceToJson(const TraceRecord &rec)
         append(out, "detail", rec.b);
         break;
       case TraceKind::StatsReset:
+        break;
+      case TraceKind::SelfProf:
+        append(out, "site",
+               profSiteName(static_cast<ProfSite>(rec.addr)));
+        append(out, "us", rec.a);
+        append(out, "calls", rec.b);
         break;
       case TraceKind::Heartbeat:
       case TraceKind::RunEnd:

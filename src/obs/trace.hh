@@ -48,6 +48,7 @@ enum class TraceKind : std::uint8_t
     FaultRecover,    //!< State rebuilt / line refetched.
     StatsReset,      //!< Warmup ended; Stats counters reset.
     Heartbeat,       //!< Periodic progress record.
+    SelfProf,        //!< Cumulative self-profiler site counter.
     RunEnd,          //!< Run finished (totals).
     NUM_KINDS
 };

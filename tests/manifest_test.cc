@@ -70,6 +70,36 @@ TEST(Manifest, KeyTableIsWellFormed)
     }
 }
 
+TEST(Manifest, SelfprofAndLaneKeysParse)
+{
+    Manifest m = parseManifestText(
+        "[obs]\nselfprof = 1\nselfprof_top = 15\nlanes = 4\n", "t");
+    ASSERT_EQ(m.entries.size(), 3u);
+    EXPECT_EQ(m.entries[0].env, "D2M_SELFPROF");
+    EXPECT_EQ(m.entries[0].value, "1");
+    EXPECT_EQ(m.entries[1].env, "D2M_SELFPROF_TOP");
+    EXPECT_EQ(m.entries[1].value, "15");
+    EXPECT_EQ(m.entries[2].env, "D2M_LANES");
+    EXPECT_EQ(m.entries[2].value, "4");
+}
+
+TEST(ManifestDeathTest, NonNumericLanesIsFatal)
+{
+    // The three observability keys added with the self-profiler are
+    // numeric: the manifest validator must reject junk values.
+    EXPECT_EXIT(parseManifestText("[obs]\nlanes = four\n", "t"),
+                testing::ExitedWithCode(1), "not an unsigned integer");
+    EXPECT_EXIT(parseManifestText("[obs]\nselfprof = yes\n", "t"),
+                testing::ExitedWithCode(1), "not an unsigned integer");
+}
+
+TEST(ManifestDeathTest, UnknownObsKeyIsFatal)
+{
+    EXPECT_EXIT(parseManifestText("[obs]\nselfprof_topn = 5\n", "t"),
+                testing::ExitedWithCode(1),
+                "unknown key 'selfprof_topn'");
+}
+
 TEST(ManifestDeathTest, UnknownSectionIsFatal)
 {
     EXPECT_EXIT(parseManifestText("[bogus]\nx = 1\n", "t"),
