@@ -287,7 +287,7 @@ BaselineSystem::llcService(NodeId node, Addr line_addr, bool want_excl,
 
 void
 BaselineSystem::evictPrivateLine(NodeId node, ClassicCache &cache,
-                                 ClassicLine &victim)
+                                 ClassicLine &victim, EnergyAccount &ea)
 {
     if (!victim.valid())
         return;
@@ -319,14 +319,16 @@ BaselineSystem::evictPrivateLine(NodeId node, ClassicCache &cache,
             if (ClassicLine *l2l = nodes_[node].l2->probe(line_addr)) {
                 l2l->value = value;
                 l2l->state = Mesi::M;
-                energy_.count(Structure::L2Data);
+                ea.count(Structure::L2Data);
                 return;
             }
         }
-        // Coherent writeback to the LLC.
+        // Coherent writeback to the LLC. Never reached with a lane
+        // shadow: accessConfined() only evicts victims that are clean
+        // or fold into the inclusive L2 (both node-local).
         noc_.send(node, farSide(), MsgType::WritebackData);
-        energy_.count(Structure::LlcTag, llc_->assoc());
-        energy_.count(Structure::LlcData);
+        ea.count(Structure::LlcTag, llc_->assoc());
+        ea.count(Structure::LlcData);
         ClassicLine *llcl = llc_->probe(line_addr);
         panic_if(!llcl, "inclusive LLC lost a dirty private line");
         llcl->value = value;
@@ -345,20 +347,21 @@ BaselineSystem::evictPrivateLine(NodeId node, ClassicCache &cache,
 
 void
 BaselineSystem::installPrivate(NodeId node, AccessType type, Addr line_addr,
-                               Mesi state, std::uint64_t value)
+                               Mesi state, std::uint64_t value,
+                               EnergyAccount &ea)
 {
     if (hasL2_ && !nodes_[node].l2->probe(line_addr)) {
         ClassicLine &victim = nodes_[node].l2->victimFor(line_addr);
-        evictPrivateLine(node, *nodes_[node].l2, victim);
+        evictPrivateLine(node, *nodes_[node].l2, victim, ea);
         nodes_[node].l2->install(victim, line_addr, state, value);
-        energy_.count(Structure::L2Data);
+        ea.count(Structure::L2Data);
     }
     ClassicCache &l1 = l1For(node, type);
     if (!l1.probe(line_addr)) {
         ClassicLine &victim = l1.victimFor(line_addr);
-        evictPrivateLine(node, l1, victim);
+        evictPrivateLine(node, l1, victim, ea);
         l1.install(victim, line_addr, state, value);
-        energy_.count(Structure::L1Data);
+        ea.count(Structure::L1Data);
     }
 }
 
@@ -453,7 +456,8 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
                 value = l2l->value;
                 if (store)
                     l2l->state = Mesi::M;
-                installPrivate(node, acc.type, line_addr, l2l->state, value);
+                installPrivate(node, acc.type, line_addr, l2l->state, value,
+                               energy_);
                 serviced = true;
                 result.level = ServiceLevel::L2;
                 if (isIFetch(acc.type))
@@ -474,7 +478,8 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
                 lat += noc_.send(farSide(), node, MsgType::InvAck);
                 value = l2l->value;
                 l2l->state = Mesi::M;
-                installPrivate(node, acc.type, line_addr, Mesi::M, value);
+                installPrivate(node, acc.type, line_addr, Mesi::M, value,
+                               energy_);
                 serviced = true;
                 result.level = ServiceLevel::L2;
                 if (isIFetch(acc.type))
@@ -489,7 +494,7 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
         ServiceLevel level = ServiceLevel::LLC_FAR;
         Mesi granted = Mesi::S;
         value = llcService(node, line_addr, store, lat, level, granted);
-        installPrivate(node, acc.type, line_addr, granted, value);
+        installPrivate(node, acc.type, line_addr, granted, value, energy_);
         result.level = level;
     }
 
@@ -511,6 +516,126 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
     stats_.missLatency.sample(lat);
     stats_.accessLatency.sample(lat);
     return result;
+}
+
+bool
+BaselineSystem::accessConfined(NodeId node, const MemAccess &acc,
+                               Addr line_addr, Tick, LaneShadow &sh,
+                               AccessResult &res)
+{
+    const bool store = isWrite(acc.type);
+    ClassicCache &l1 = l1For(node, acc.type);
+
+    // ---- confinement predicate: const probes only -------------------
+    const ClassicLine *hit =
+        static_cast<const ClassicCache &>(l1).probe(line_addr);
+    if (hit) {
+        if (store && hit->state == Mesi::S)
+            return false;  // S->M upgrade goes through the directory
+    } else {
+        if (!hasL2_)
+            return false;
+        const ClassicLine *l2p = static_cast<const ClassicCache &>(
+            *nodes_[node].l2).probe(line_addr);
+        if (!l2p)
+            return false;
+        if (store && l2p->state != Mesi::M && l2p->state != Mesi::E)
+            return false;  // S in L2, store: directory upgrade
+        // The L1 fill evicts a victim; only node-local victim handling
+        // (invalid, clean, or dirty-folding into the inclusive L2) is
+        // confined. A dirty victim absent from the L2 would write back
+        // to the LLC.
+        const ClassicLine &victim = l1.victimFor(line_addr);
+        if (victim.valid() && victim.state == Mesi::M &&
+            !(hasL2_ && nodes_[node].l2->probe(victim.lineAddr))) {
+            return false;
+        }
+    }
+
+    // ---- commit: the node-local effects of access() for this path ---
+    ++sh.hier.accesses;
+    switch (acc.type) {
+      case AccessType::IFETCH: ++sh.hier.ifetches; break;
+      case AccessType::LOAD: ++sh.hier.loads; break;
+      case AccessType::STORE: ++sh.hier.stores; break;
+    }
+
+    // translate(): per-node TLB, identity frame arithmetic. The driver
+    // already recorded the first-touch page through translateShadowed.
+    Cycles lat = params_.lat.l1Hit;
+    sh.energy.count(Structure::Tlb);
+    if (!nodes_[node].tlb->lookup(acc.asid, acc.vaddr)) {
+        sh.energy.count(Structure::PageWalk);
+        lat += params_.lat.pageWalk;
+    }
+    sh.energy.count(Structure::L1Tag);
+    sh.energy.count(Structure::L1Data);
+
+    if (hit) {
+        ClassicLine *line = l1.lookup(line_addr);
+        if (store) {
+            line->state = Mesi::M;  // silent E/M upgrade (S excluded)
+            line->value = acc.storeValue;
+            if (hasL2_) {
+                if (ClassicLine *l2l = nodes_[node].l2->probe(line_addr)) {
+                    l2l->value = acc.storeValue;
+                    l2l->state = Mesi::M;
+                }
+            }
+        }
+        res.latency = lat;
+        res.level = ServiceLevel::L1;
+        res.loadValue = line->value;
+        sh.hier.accessLatency.sample(lat);
+        return true;
+    }
+
+    // ---- node-local L2 hit ----
+    res.l1Miss = true;
+    if (isIFetch(acc.type)) {
+        ++sh.hier.l1iMisses;
+        ++sh.hier.beyondL1I;
+    } else {
+        ++sh.hier.l1dMisses;
+        ++sh.hier.beyondL1D;
+    }
+    ClassicCache &l2 = *nodes_[node].l2;
+    sh.energy.count(Structure::L2Tag, l2.assoc());
+    lat += params_.lat.l2;
+    ClassicLine *l2l = l2.lookup(line_addr);
+    sh.energy.count(Structure::L2Data);
+    std::uint64_t value = l2l->value;
+    if (store)
+        l2l->state = Mesi::M;
+    installPrivate(node, acc.type, line_addr, l2l->state, value,
+                   sh.energy);
+    res.level = ServiceLevel::L2;
+    if (isIFetch(acc.type))
+        ++sh.hier.nearHitsI;
+    else
+        ++sh.hier.nearHitsD;
+
+    ClassicLine *fresh = l1.probe(line_addr);
+    panic_if(!fresh, "installPrivate failed to fill the L1");
+    if (store) {
+        fresh->state = Mesi::M;
+        fresh->value = acc.storeValue;
+        l2l->state = Mesi::M;
+        l2l->value = acc.storeValue;
+    }
+    res.latency = lat;
+    res.loadValue = fresh->value;
+    sh.hier.missLatencyTotal += lat;
+    sh.hier.missLatency.sample(lat);
+    sh.hier.accessLatency.sample(lat);
+    return true;
+}
+
+void
+BaselineSystem::laneMerge(const LaneShadow &sh)
+{
+    MemorySystem::laneMerge(sh);
+    stats_.mergeFrom(sh.hier);
 }
 
 bool

@@ -42,6 +42,14 @@ class BaselineSystem : public MemorySystem
     AccessResult access(NodeId node, const MemAccess &acc,
                         Tick now) override;
 
+    /** Lane-confined fast path: L1 hits (minus S-store upgrades) and
+     * node-local L2 hits (see DESIGN.md §16). */
+    bool accessConfined(NodeId node, const MemAccess &acc, Addr line_addr,
+                        Tick now, LaneShadow &sh,
+                        AccessResult &res) override;
+
+    void laneMerge(const LaneShadow &sh) override;
+
     bool checkInvariants(std::string &why) const override;
     double sramKib() const override;
 
@@ -88,9 +96,11 @@ class BaselineSystem : public MemorySystem
      */
     bool invalidateInNode(NodeId n, Addr line_addr, std::uint64_t &mval);
 
-    /** Evict @p victim from an L1 (and L2 copy handling). */
+    /** Evict @p victim from an L1 (and L2 copy handling). @p ea is the
+     * energy account to charge — the primary from access(), a lane
+     * shadow from accessConfined(). */
     void evictPrivateLine(NodeId node, ClassicCache &cache,
-                          ClassicLine &victim);
+                          ClassicLine &victim, EnergyAccount &ea);
 
     /** Make room in the LLC for @p line_addr (inclusive back-inv). */
     ClassicLine &allocateLlc(Addr line_addr, Cycles &lat);
@@ -104,9 +114,11 @@ class BaselineSystem : public MemorySystem
                              Cycles &lat, ServiceLevel &level,
                              Mesi &granted);
 
-    /** Install @p line_addr into node @p node's hierarchy. */
+    /** Install @p line_addr into node @p node's hierarchy, charging
+     * @p ea (primary energy or a lane shadow's). */
     void installPrivate(NodeId node, AccessType type, Addr line_addr,
-                        Mesi state, std::uint64_t value);
+                        Mesi state, std::uint64_t value,
+                        EnergyAccount &ea);
 
     /** Invalidate all sharers of @p llc_line except @p except. */
     Cycles invalidateSharers(ClassicLine &llc_line, NodeId except);

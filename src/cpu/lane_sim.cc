@@ -1,0 +1,560 @@
+#include "cpu/lane_sim.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/debug.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
+
+namespace d2m
+{
+namespace
+{
+
+/**
+ * One executed access in a window's deterministic operation log, keyed
+ * by (now, node, seq). seq is a per-node monotone counter, so the key
+ * totally orders the log independent of which thread executed what.
+ */
+struct LaneOp
+{
+    Tick now;
+    NodeId node;
+    std::uint64_t seq;
+    Addr line;
+    std::uint64_t value;  //!< Store value, or the observed load value.
+    bool isWrite;
+    bool drained;  //!< Replayed at the barrier (after all inline ops).
+};
+
+/** An access whose effects leave the node: replayed at the barrier. */
+struct ParkedAccess
+{
+    Tick now;
+    NodeId node;
+    std::uint64_t seq;
+    Addr line;
+    MemAccess acc;
+    bool merged;  //!< wouldBeLateHit at issue time.
+};
+
+/**
+ * Per-lane working state. Everything here is touched only by the
+ * owning lane thread during a window and only by the main thread at
+ * barriers, so no field needs atomics.
+ */
+struct LaneState
+{
+    std::vector<unsigned> cores;  //!< Node ids striped core % k.
+    LaneShadow shadow;
+    std::vector<LaneOp> ops;
+    std::vector<ParkedAccess> parked;
+    // Window accumulators for the confined fast path, folded into the
+    // RunResult at each barrier (exact integer sums: k-invariant).
+    std::uint64_t committed = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t latency = 0;
+    std::uint64_t lateHitsI = 0, lateHitsD = 0;
+    std::uint64_t mergedMissesI = 0, mergedMissesD = 0;
+};
+
+/**
+ * Persistent worker crew with an epoch barrier. The main thread
+ * publishes a window by bumping go_; each helper runs the window
+ * function for its lane and acks on done_. Lane 0 always runs on the
+ * calling thread, so k = 1 spawns no threads at all and every k runs
+ * the identical per-lane code.
+ *
+ * Spin briefly before yielding: windows are short (tens of simulated
+ * cycles of work) but CI hosts may have fewer cores than lanes, so an
+ * unbounded spin would livelock against the helpers we are waiting on.
+ */
+class LaneCrew
+{
+  public:
+    template <typename Fn>
+    LaneCrew(unsigned lanes, Fn &&work)
+        : work_(std::forward<Fn>(work)), errors_(lanes)
+    {
+        threads_.reserve(lanes > 0 ? lanes - 1 : 0);
+        for (unsigned i = 1; i < lanes; ++i)
+            threads_.emplace_back([this, i] { threadMain(i); });
+    }
+
+    ~LaneCrew()
+    {
+        quit_.store(true, std::memory_order_relaxed);
+        go_.fetch_add(1, std::memory_order_release);
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    LaneCrew(const LaneCrew &) = delete;
+    LaneCrew &operator=(const LaneCrew &) = delete;
+
+    /**
+     * Run one window on every lane (lane 0 inline on the caller) and
+     * wait for all helpers. Rethrows the lowest-lane exception on the
+     * caller once the barrier is complete, so the crew is always
+     * quiescent when an error propagates.
+     */
+    void
+    runWindow()
+    {
+        const unsigned helpers =
+            static_cast<unsigned>(threads_.size());
+        done_.store(0, std::memory_order_relaxed);
+        go_.fetch_add(1, std::memory_order_release);
+        try {
+            work_(0);
+        } catch (...) {
+            errors_[0] = std::current_exception();
+        }
+        waitFor(done_, helpers);
+        for (auto &e : errors_) {
+            if (e) {
+                std::exception_ptr ep = e;
+                e = nullptr;
+                std::rethrow_exception(ep);
+            }
+        }
+    }
+
+  private:
+    static void
+    waitFor(const std::atomic<std::uint64_t> &var, std::uint64_t want)
+    {
+        for (unsigned spins = 0;
+             var.load(std::memory_order_acquire) != want;) {
+            if (++spins > 4096)
+                std::this_thread::yield();
+        }
+    }
+
+    void
+    threadMain(unsigned lane)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            for (unsigned spins = 0;
+                 go_.load(std::memory_order_acquire) == seen;) {
+                if (++spins > 4096)
+                    std::this_thread::yield();
+            }
+            ++seen;
+            if (quit_.load(std::memory_order_relaxed))
+                return;
+            try {
+                work_(lane);
+            } catch (...) {
+                errors_[lane] = std::current_exception();
+            }
+            done_.fetch_add(1, std::memory_order_release);
+        }
+    }
+
+    std::function<void(unsigned)> work_;
+    std::vector<std::exception_ptr> errors_;
+    std::vector<std::thread> threads_;
+    std::atomic<std::uint64_t> go_{0};
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<bool> quit_{false};
+};
+
+/**
+ * Window-relaxed golden-memory check over one barrier's op log, sorted
+ * by (now, node, seq).
+ *
+ * Within a conservative window the physical execution order and the
+ * deterministic key order may disagree in both directions: an inline
+ * load can precede a parked store that drains later but carries an
+ * earlier key, and a drained load can observe an inline store carrying
+ * a later key. Both interleavings are legal schedules of the same
+ * window, so a load is valid iff it observed the line's window-entry
+ * value or ANY value stored to that line within the window. The
+ * window-exit golden value is the last store in key order — the same
+ * for every lane count, so valueErrors/firstError stay k-invariant.
+ */
+void
+windowValueCheck(std::vector<LaneOp> &ops, GoldenMemory &golden,
+                 RunResult &result)
+{
+    std::unordered_map<Addr, std::vector<std::uint64_t>> stores;
+    for (const LaneOp &op : ops) {
+        if (op.isWrite)
+            stores[op.line].push_back(op.value);
+    }
+    for (const LaneOp &op : ops) {
+        if (op.isWrite)
+            continue;
+        const std::uint64_t entry = golden.load(op.line);
+        if (op.value == entry)
+            continue;
+        bool ok = false;
+        if (const auto it = stores.find(op.line); it != stores.end()) {
+            ok = std::find(it->second.begin(), it->second.end(),
+                           op.value) != it->second.end();
+        }
+        if (!ok) {
+            ++result.valueErrors;
+            if (result.firstError.empty()) {
+                result.firstError = vformat(
+                    "value mismatch at line 0x%llx: got %llu, "
+                    "expected %llu",
+                    static_cast<unsigned long long>(op.line),
+                    static_cast<unsigned long long>(op.value),
+                    static_cast<unsigned long long>(entry));
+            }
+        }
+    }
+    // Window-exit value per line: the barrier drain physically applies
+    // parked stores after every inline store, so a drained store wins
+    // over any inline store regardless of key order. (Inline stores to
+    // one line within a window all come from the single node holding
+    // it exclusively, and at most one drained op exists per node per
+    // window, so within each class key order IS physical order.)
+    for (const LaneOp &op : ops) {
+        if (op.isWrite && !op.drained)
+            golden.store(op.line, op.value);
+    }
+    for (const LaneOp &op : ops) {
+        if (op.isWrite && op.drained)
+            golden.store(op.line, op.value);
+    }
+}
+
+} // namespace
+
+bool
+laneModeEligible(MemorySystem &system, const RunOptions &opts,
+                 std::string *why)
+{
+    const char *blocker = nullptr;
+    if (opts.snapshotter)
+        blocker = "interval stats snapshotting is enabled";
+    else if (opts.selfprof)
+        blocker = "the simulation self-profiler is attached";
+    else if (system.laneCensus())
+        blocker = "the D2M_LANES partition census is enabled";
+    else if (system.faultInjector())
+        blocker = "fault injection is enabled";
+    else if (obs::traceEnabled())
+        blocker = "the binary trace sink is enabled";
+    else if (debug::enabledMask != 0)
+        blocker = "debug flags are enabled";
+    else if (!system.pageTable().identityMode())
+        blocker = "the page table is not in identity mode";
+    if (blocker && why)
+        *why = blocker;
+    return blocker == nullptr;
+}
+
+RunResult
+runMulticoreLanes(MemorySystem &system,
+                  std::vector<std::unique_ptr<AccessStream>> &streams,
+                  const RunOptions &opts, unsigned lanes, Tick window)
+{
+    const unsigned n = system.params().numNodes;
+    fatal_if(streams.size() != n,
+             "need one stream per node (%u streams, %u nodes)",
+             static_cast<unsigned>(streams.size()), n);
+    fatal_if(window == 0, "lane window must be >= 1 tick");
+    // More lanes than cores just leaves trailing lanes permanently
+    // idle; clamp so the crew never spawns useless threads.
+    const unsigned k = std::max(1u, std::min(lanes, n));
+
+    std::vector<OooModel> cores;
+    cores.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        cores.emplace_back(system.params().core);
+
+    // Plain byte flags (not vector<bool>: lane threads write disjoint
+    // elements concurrently, which packed bits would turn into races).
+    // active/parkedAt are written by the owning lane inside a window
+    // and read by the main thread only at barriers; the crew's
+    // acquire/release barrier publishes them.
+    std::vector<std::uint8_t> active(n, 1);
+    std::vector<std::uint8_t> parkedAt(n, 0);
+    std::vector<std::uint64_t> seq(n, 0);
+
+    GoldenMemory golden;
+    RunResult result;
+
+    const std::uint64_t warmup_total = opts.warmupInstsPerCore * n;
+    bool warm = warmup_total == 0;
+    std::uint64_t insts_at_reset = 0;
+    Tick cycles_at_reset = 0;
+
+    obs::SimRateProfiler profiler;
+    std::uint64_t total_committed = 0;
+    std::uint64_t checksDone = 0;
+
+    PageTable &pageTable = system.pageTable();
+    const unsigned lineShift = system.params().lineShift();
+    const bool checkValues = opts.checkValues;
+
+    std::vector<LaneState> lane_states(k);
+    for (unsigned c = 0; c < n; ++c)
+        lane_states[c % k].cores.push_back(c);
+
+    // Window bound, published to the lanes through the crew barrier.
+    Tick windowEnd = window;
+
+    // One lane's share of a window: repeatedly run this lane's
+    // unparked active core with the smallest clock below windowEnd —
+    // the serial scheduler restricted to the lane, which is what makes
+    // the per-core trajectories identical for every k.
+    auto laneWindow = [&](unsigned li) {
+        LaneState &lane = lane_states[li];
+        const Tick wEnd = windowEnd;
+        for (;;) {
+            unsigned best = ~0u;
+            for (unsigned c : lane.cores) {
+                if (!active[c] || parkedAt[c])
+                    continue;
+                if (cores[c].now() >= wEnd)
+                    continue;
+                if (best == ~0u || cores[c].now() < cores[best].now())
+                    best = c;
+            }
+            if (best == ~0u)
+                break;
+            OooModel &core = cores[best];
+
+            MemAccess acc;
+            if (!streams[best]->next(acc)) {
+                active[best] = 0;
+                continue;
+            }
+
+            const Addr paddr = pageTable.translateShadowed(
+                acc.asid, acc.vaddr, lane.shadow.touchedPages);
+            const Addr line_addr = paddr >> lineShift;
+            const bool merged = core.wouldBeLateHit(line_addr);
+
+            if (acc.instCount > 0) {
+                core.issueInstructions(acc.instCount);
+                core.countInstructions(acc.instCount);
+                lane.committed += acc.instCount;
+            }
+            const Tick issue = core.now();
+            const std::uint64_t s = seq[best]++;
+
+            AccessResult res;
+            if (system.accessConfined(best, acc, line_addr, issue,
+                                      lane.shadow, res)) {
+                ++lane.accesses;
+                lane.latency += res.latency;
+                if (merged) {
+                    if (isIFetch(acc.type)) {
+                        ++lane.lateHitsI;
+                        if (res.l1Miss)
+                            ++lane.mergedMissesI;
+                    } else {
+                        ++lane.lateHitsD;
+                        if (res.l1Miss)
+                            ++lane.mergedMissesD;
+                    }
+                }
+                core.issueMemAccess(line_addr, res.latency, res.l1Miss,
+                                    isIFetch(acc.type));
+                if (checkValues) {
+                    lane.ops.push_back(
+                        {issue, static_cast<NodeId>(best), s, line_addr,
+                         isWrite(acc.type) ? acc.storeValue
+                                           : res.loadValue,
+                         isWrite(acc.type), /*drained=*/false});
+                }
+            } else {
+                // Leaves the node: the core stalls until the barrier
+                // replays it (at most one parked access per core per
+                // window, so the drain batch stays small).
+                parkedAt[best] = 1;
+                lane.parked.push_back({issue,
+                                       static_cast<NodeId>(best), s,
+                                       line_addr, acc, merged});
+            }
+        }
+    };
+
+    LaneCrew crew(k, laneWindow);
+    std::vector<ParkedAccess> drain;
+    std::vector<LaneOp> ops;
+
+    unsigned remaining = n;
+    while (remaining > 0) {
+        crew.runWindow();
+
+        // ---- Serial drain: replay parked accesses through the
+        // unmodified access() path in (tick, node) order. Each core
+        // parks at most once per window and per-core ticks are
+        // monotone, so this order is a legal serial schedule and is
+        // identical for every lane count.
+        drain.clear();
+        for (auto &lane : lane_states) {
+            drain.insert(drain.end(), lane.parked.begin(),
+                         lane.parked.end());
+            lane.parked.clear();
+        }
+        std::sort(drain.begin(), drain.end(),
+                  [](const ParkedAccess &a, const ParkedAccess &b) {
+                      return a.now != b.now ? a.now < b.now
+                                            : a.node < b.node;
+                  });
+        for (const ParkedAccess &p : drain) {
+            debug::setCurTick(p.now);
+            const AccessResult res = system.access(p.node, p.acc, p.now);
+            ++result.accesses;
+            result.totalAccessLatency += res.latency;
+            if (p.merged) {
+                if (isIFetch(p.acc.type)) {
+                    ++result.lateHitsI;
+                    if (res.l1Miss)
+                        ++result.mergedMissesI;
+                } else {
+                    ++result.lateHitsD;
+                    if (res.l1Miss)
+                        ++result.mergedMissesD;
+                }
+            }
+            cores[p.node].issueMemAccess(p.line, res.latency, res.l1Miss,
+                                         isIFetch(p.acc.type));
+            parkedAt[p.node] = 0;
+            if (checkValues) {
+                ops.push_back({p.now, p.node, p.seq, p.line,
+                               isWrite(p.acc.type) ? p.acc.storeValue
+                                                   : res.loadValue,
+                               isWrite(p.acc.type), /*drained=*/true});
+            }
+        }
+
+        // ---- Fold lane shadows and accumulators, in lane order.
+        for (auto &lane : lane_states) {
+            system.laneMerge(lane.shadow);
+            lane.shadow.reset();
+            if (checkValues && !lane.ops.empty()) {
+                ops.insert(ops.end(), lane.ops.begin(), lane.ops.end());
+                lane.ops.clear();
+            }
+            total_committed += lane.committed;
+            result.accesses += lane.accesses;
+            result.totalAccessLatency += lane.latency;
+            result.lateHitsI += lane.lateHitsI;
+            result.lateHitsD += lane.lateHitsD;
+            result.mergedMissesI += lane.mergedMissesI;
+            result.mergedMissesD += lane.mergedMissesD;
+            lane.committed = lane.accesses = lane.latency = 0;
+            lane.lateHitsI = lane.lateHitsD = 0;
+            lane.mergedMissesI = lane.mergedMissesD = 0;
+        }
+
+        // ---- Golden-memory check over this window's op log.
+        if (checkValues && !ops.empty()) {
+            std::sort(ops.begin(), ops.end(),
+                      [](const LaneOp &a, const LaneOp &b) {
+                          if (a.now != b.now)
+                              return a.now < b.now;
+                          if (a.node != b.node)
+                              return a.node < b.node;
+                          return a.seq < b.seq;
+                      });
+            windowValueCheck(ops, golden, result);
+            ops.clear();
+        }
+
+        // ---- Campaign liveness + cancellation, per barrier.
+        if (opts.progress) [[unlikely]] {
+            opts.progress->store(result.accesses + total_committed + 1,
+                                 std::memory_order_relaxed);
+            if (opts.instsProgress) {
+                opts.instsProgress->store(total_committed,
+                                          std::memory_order_relaxed);
+            }
+            if (opts.cancel &&
+                opts.cancel->load(std::memory_order_relaxed) != 0) {
+                fatal("run cancelled by campaign watchdog/drain "
+                      "(timeout or shutdown requested)");
+            }
+        }
+
+        // ---- Warmup boundary, at window granularity. The boundary is
+        // a function of total_committed only, which is k-invariant, so
+        // every lane count resets at the same window.
+        if (!warm && total_committed >= warmup_total) {
+            warm = true;
+            system.resetStats();
+            profiler.phaseReset();
+            obs::traceEvent(obs::TraceKind::StatsReset, 0);
+            insts_at_reset = total_committed;
+            for (const auto &core : cores) {
+                cycles_at_reset =
+                    std::max(cycles_at_reset, core.finishTime());
+            }
+            result.accesses = 0;
+            result.totalAccessLatency = 0;
+            result.lateHitsI = result.lateHitsD = 0;
+            result.mergedMissesI = result.mergedMissesD = 0;
+            checksDone = 0;
+        }
+
+        if (profiler.maybeHeartbeat(total_committed, result.accesses))
+            ++result.heartbeats;
+
+        // ---- Invariant checking: one check per elapsed period, at
+        // barriers (all lanes quiescent, so the checker sees a
+        // consistent hierarchy).
+        if (opts.invariantCheckPeriod) {
+            const std::uint64_t due =
+                result.accesses / opts.invariantCheckPeriod;
+            if (due > checksDone) {
+                checksDone = due;
+                std::string why;
+                if (!system.checkInvariants(why)) {
+                    ++result.invariantErrors;
+                    if (result.firstError.empty())
+                        result.firstError = why;
+                }
+            }
+        }
+
+        // ---- Next window: lower edge at the slowest active core.
+        remaining = 0;
+        Tick minNow = 0;
+        for (unsigned c = 0; c < n; ++c) {
+            if (!active[c])
+                continue;
+            if (remaining == 0 || cores[c].now() < minNow)
+                minNow = cores[c].now();
+            ++remaining;
+        }
+        windowEnd = minNow + window;
+    }
+
+    for (auto &core : cores) {
+        result.cycles = std::max(result.cycles, core.finishTime());
+        result.instructions += core.instructions();
+    }
+    result.cycles -= std::min(result.cycles, cycles_at_reset);
+    result.instructions -= std::min(result.instructions, insts_at_reset);
+
+    profiler.finish(result.instructions);
+    result.warmupWallSec = profiler.warmupWallSec();
+    result.measureWallSec = profiler.measureWallSec();
+    result.simKips = profiler.kips();
+    debug::setCurTick(result.cycles);
+    obs::traceEvent(obs::TraceKind::RunEnd, 0, result.accesses,
+                    result.instructions,
+                    static_cast<std::uint64_t>(result.simKips));
+    obs::flushGlobal();
+    return result;
+}
+
+} // namespace d2m

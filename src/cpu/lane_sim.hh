@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lane-parallel multicore driver: conservative parallel discrete-event
+ * simulation (PDES) of a single run (DESIGN.md Section 16).
+ *
+ * The cores and their private hierarchies are striped into k lanes
+ * (core % k). Within a synchronization window bounded by the minimum
+ * cross-lane interaction latency, each lane advances its own cores
+ * independently, executing node-confined accesses inline against the
+ * issuing node's private structures (MemorySystem::accessConfined)
+ * while recording shared-statistic deltas into a per-lane shadow.
+ * Accesses that would leave the node are parked; at the window barrier
+ * the main thread replays them through the unmodified access() path in
+ * deterministic (tick, node) order and folds every lane shadow into the
+ * primary stat groups. All merged quantities are exact, so the final
+ * statistics tree is byte-identical for any lane count k >= 1.
+ */
+
+#ifndef D2M_CPU_LANE_SIM_HH
+#define D2M_CPU_LANE_SIM_HH
+
+#include <string>
+
+#include "cpu/multicore.hh"
+
+namespace d2m
+{
+
+/**
+ * Can this run execute under the lane-parallel loop? Lane mode
+ * supports the plain measurement configuration only; observability
+ * hooks that assume the serial global interleaving (interval stats,
+ * self-profiling, tracing, debug flags, the lane census itself) and
+ * fault injection fall back to the classic loop.
+ *
+ * @param why on false, filled with the blocking feature (for the
+ *            one-shot fallback warning); may be null.
+ */
+bool laneModeEligible(MemorySystem &system, const RunOptions &opts,
+                      std::string *why);
+
+/**
+ * Drive @p streams to completion with @p lanes lanes and a
+ * synchronization window of @p window ticks.
+ *
+ * Callers normally go through runMulticore(), which resolves the lane
+ * count and window from RunOptions / D2M_LANE_JOBS / D2M_LANE_WINDOW
+ * and checks eligibility; calling this directly bypasses both.
+ *
+ * @param lanes clamped to the node count; 1 runs the windowed loop on
+ *              the calling thread (no worker threads) — the reference
+ *              schedule the k >= 2 configurations must reproduce.
+ * @param window must be >= 1; the conservative bound is the minimum
+ *               cross-lane interaction latency (one NoC hop).
+ */
+RunResult
+runMulticoreLanes(MemorySystem &system,
+                  std::vector<std::unique_ptr<AccessStream>> &streams,
+                  const RunOptions &opts, unsigned lanes, Tick window);
+
+} // namespace d2m
+
+#endif // D2M_CPU_LANE_SIM_HH

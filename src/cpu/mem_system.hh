@@ -18,8 +18,10 @@
 #include <string>
 
 #include "common/env.hh"
+#include "common/flat_map.hh"
 #include "common/params.hh"
 #include "common/types.hh"
+#include "cpu/hier_stats.hh"
 #include "energy/energy_model.hh"
 #include "fault/fault_injector.hh"
 #include "mem/access.hh"
@@ -31,6 +33,44 @@
 
 namespace d2m
 {
+
+/**
+ * Per-lane statistics accumulator for the lane-parallel run mode
+ * (cpu/lane_sim.hh).
+ *
+ * A lane thread may execute "confined" accesses — ones that touch only
+ * the issuing node's private structures — without synchronizing with
+ * the shared tier. Shared statistics cannot be bumped from a lane
+ * thread, so accessConfined() records them here instead; the engine
+ * folds every shadow into the primaries at each window barrier via
+ * MemorySystem::laneMerge(). All merged quantities are exact (integer
+ * counters, integer-valued histogram samples), so the final stats are
+ * independent of the lane count.
+ */
+struct LaneShadow
+{
+    HierarchyStats hier{"lane_hier", nullptr};
+    EnergyAccount energy{"lane_energy", nullptr};
+    /** First-touch page census redirected from PageTable::translate. */
+    FlatSet<std::uint64_t> touchedPages;
+
+    // D2M confined-path event counters (folded into D2mEvents by
+    // D2mSystem::laneMerge; unused by the baselines).
+    std::uint64_t d2mMd1Hits = 0;
+    std::uint64_t d2mCaseB = 0;
+    std::uint64_t d2mDirectAccesses = 0;
+    std::uint64_t d2mCoverageMd1L1 = 0;
+
+    void
+    reset()
+    {
+        hier.resetStats();
+        energy.resetStats();
+        touchedPages.clear();
+        d2mMd1Hits = d2mCaseB = 0;
+        d2mDirectAccesses = d2mCoverageMd1L1 = 0;
+    }
+};
 
 /** Abstract coherent multicore memory system. */
 class MemorySystem : public SimObject
@@ -73,6 +113,42 @@ class MemorySystem : public SimObject
      */
     virtual AccessResult access(NodeId node, const MemAccess &acc,
                                 Tick now) = 0;
+
+    /**
+     * Try to execute @p acc as a lane-confined access: one whose
+     * functional and timing effects are limited to @p node's private
+     * structures (plus the @p sh shadow for shared statistics). Called
+     * from lane threads (cpu/lane_sim.hh); must not touch the shared
+     * tier (NoC, LLC/MD3, memory, placement, page table, primary stat
+     * groups).
+     *
+     * @param line_addr the line address from the driver's (identity)
+     *                  translation, for value/latency bookkeeping.
+     * @return true and fill @p res if the access completed; false with
+     *         no state change at all, in which case the engine parks
+     *         the access and replays it through access() at the next
+     *         window barrier.
+     */
+    virtual bool
+    accessConfined(NodeId node, const MemAccess &acc, Addr line_addr,
+                   Tick now, LaneShadow &sh, AccessResult &res)
+    {
+        (void)node; (void)acc; (void)line_addr; (void)now; (void)sh;
+        (void)res;
+        return false;
+    }
+
+    /**
+     * Fold one lane shadow into the primary statistics. Runs on the
+     * main thread at window barriers while all lanes are stopped.
+     * Derived systems extend this with their own stat groups.
+     */
+    virtual void
+    laneMerge(const LaneShadow &sh)
+    {
+        energy_.mergeFrom(sh.energy);
+        pageTable_.absorbTouched(sh.touchedPages);
+    }
 
     /** Verify internal invariants; fills @p why on failure. */
     virtual bool checkInvariants(std::string &why) const

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "cpu/lane_sim.hh"
 #include "obs/debug.hh"
 #include "obs/profiler.hh"
 #include "obs/selfprof.hh"
@@ -21,6 +22,30 @@ runMulticore(MemorySystem &system,
     fatal_if(streams.size() != n,
              "need one stream per node (%u streams, %u nodes)",
              static_cast<unsigned>(streams.size()), n);
+
+    // Lane-parallel dispatch (cpu/lane_sim.hh): explicit option wins,
+    // then the D2M_LANE_JOBS environment knob; 0 keeps the classic
+    // serial loop below.
+    unsigned lane_jobs = opts.laneJobs;
+    if (lane_jobs == ~0u)
+        lane_jobs = static_cast<unsigned>(envU64("D2M_LANE_JOBS", 0));
+    if (lane_jobs > 0) {
+        std::string why;
+        if (laneModeEligible(system, opts, &why)) {
+            Tick window = opts.laneWindow;
+            if (window == 0)
+                window = envU64("D2M_LANE_WINDOW", 0);
+            if (window == 0)
+                window = system.noc().hopLatency();
+            if (window == 0)
+                window = 1;
+            return runMulticoreLanes(system, streams, opts, lane_jobs,
+                                     window);
+        }
+        warn_once("lane-parallel run requested (D2M_LANE_JOBS) but %s; "
+                  "falling back to the serial run loop",
+                  why.c_str());
+    }
 
     std::vector<OooModel> cores;
     cores.reserve(n);

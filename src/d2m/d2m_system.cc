@@ -1390,6 +1390,107 @@ D2mSystem::access(NodeId node, const MemAccess &acc, Tick now)
     return res;
 }
 
+bool
+D2mSystem::accessConfined(NodeId node, const MemAccess &acc, Addr,
+                          Tick now, LaneShadow &sh, AccessResult &res)
+{
+    // A due pressure-exchange epoch is shared-tier work: park so the
+    // serial drain runs it through access() at the window barrier.
+    if (nearSide_ && now >= nextPressureEpoch_)
+        return false;
+
+    const bool side_i = isIFetch(acc.type);
+    const bool store = isWrite(acc.type);
+
+    // ---- confinement predicate: const probes only, no state change --
+    const Md1Entry *e1 =
+        md1For(node, side_i).probe(md1Key(acc.asid, acc.vaddr));
+    if (!e1)
+        return false;
+    // D2M computes the physical address from the MD1 entry's region
+    // (virtually-tagged MD1 replaces the TLB), so the driver-supplied
+    // line address is ignored here.
+    const Addr paddr =
+        (e1->pregion << regionShift_) |
+        (acc.vaddr & ((Addr(1) << regionShift_) - 1));
+    const Addr line_addr = lineOf(paddr);
+    const LocationInfo li = e1->li[lineIdxOf(line_addr)];
+    if (li.kind != LiKind::L1)
+        return false;
+
+    TaglessCache &l1 = l1For(node, side_i);
+    const std::uint32_t set = l1.setFor(line_addr, e1->scramble);
+    const TaglessLine &peek =
+        static_cast<const TaglessCache &>(l1).at(set, li.way);
+    panic_if(!peek.valid || peek.lineAddr != line_addr,
+             "deterministic LI violated at L1");
+    if (store) {
+        const bool silent =
+            peek.master && (e1->privateBit || peek.exclusive);
+        const bool case_b_mem = !peek.master && e1->privateBit &&
+                                peek.rp.kind == LiKind::Mem;
+        if (!silent && !case_b_mem)
+            return false;  // needs MD3 / a cached master: not confined
+    }
+
+    // ---- commit: the node-local effects of access() for this path ---
+    ++sh.hier.accesses;
+    switch (acc.type) {
+      case AccessType::IFETCH: ++sh.hier.ifetches; break;
+      case AccessType::LOAD: ++sh.hier.loads; break;
+      case AccessType::STORE: ++sh.hier.stores; break;
+    }
+    const Cycles lat = params_.lat.l1Hit;
+
+    // lookupMetadata(), MD1-hit branch.
+    sh.energy.count(Structure::Md1);
+    md1For(node, side_i).find(e1->key);  // recency touch
+    ++sh.d2mMd1Hits;
+    Md2Entry *e2 = nodes_[node].md2->probe(e1->pregion);
+    panic_if(!e2, "MD1 inclusion in MD2 violated");
+
+    // serviceLine(), L1-hit branch.
+    TaglessLine &slot = l1.at(set, li.way);
+    sh.energy.count(Structure::L1Data);
+    l1.touch(set, li.way);
+    ++e2->hits;
+    if (store) {
+        if (slot.master && (e1->privateBit || slot.exclusive)) {
+            // Silent upgrade.
+            slot.value = acc.storeValue;
+            slot.dirty = true;
+        } else {
+            // Case B (private, hit) with the master in memory: nothing
+            // cached to consume, no local replica chain to drop.
+            ++sh.d2mCaseB;
+            ++sh.d2mDirectAccesses;
+            slot.master = true;
+            slot.exclusive = true;
+            slot.dirty = true;
+            slot.value = acc.storeValue;
+            slot.rp = LocationInfo::mem();
+        }
+    }
+    res.loadValue = slot.value;
+    res.latency = lat;
+    res.level = ServiceLevel::L1;
+    ++sh.d2mCoverageMd1L1;  // events_.sampleCoverage(0, 0)
+    sh.hier.accessLatency.sample(lat);
+    return true;
+}
+
+void
+D2mSystem::laneMerge(const LaneShadow &sh)
+{
+    MemorySystem::laneMerge(sh);
+    stats_.mergeFrom(sh.hier);
+    events_.md1Hits += sh.d2mMd1Hits;
+    events_.b += sh.d2mCaseB;
+    events_.directAccesses += sh.d2mDirectAccesses;
+    events_.coverage += sh.d2mCoverageMd1L1;
+    events_.coverageMatrix[0][0] += sh.d2mCoverageMd1L1;
+}
+
 AccessResult
 D2mSystem::serviceLine(NodeId node, const MemAccess &acc, bool side_i,
                        ActiveMd md, std::uint64_t pregion, Addr line_addr,

@@ -59,6 +59,14 @@ class D2mSystem : public MemorySystem
     AccessResult access(NodeId node, const MemAccess &acc,
                         Tick now) override;
 
+    /** Lane-confined fast path: MD1-hit L1 hits whose protocol case
+     * never leaves the node (see DESIGN.md §16). */
+    bool accessConfined(NodeId node, const MemAccess &acc, Addr line_addr,
+                        Tick now, LaneShadow &sh,
+                        AccessResult &res) override;
+
+    void laneMerge(const LaneShadow &sh) override;
+
     bool checkInvariants(std::string &why) const override;
     double sramKib() const override;
     const char *configName() const override;

@@ -112,6 +112,8 @@ manifestKeys()
         {"grid", "nodes", "D2M_NODES", true},
         {"grid", "warmup", "D2M_WARMUP", true},
         {"grid", "seed", "D2M_SEED", true},
+        {"grid", "lane_jobs", "D2M_LANE_JOBS", true},
+        {"grid", "lane_window", "D2M_LANE_WINDOW", true},
         {"obs", "heartbeat_minsts", "D2M_HEARTBEAT", true},
         {"obs", "debug", "D2M_DEBUG", false},
         {"obs", "trace_file", "D2M_TRACE_FILE", false},

@@ -11,6 +11,7 @@
 #ifndef D2M_MEM_PAGE_TABLE_HH
 #define D2M_MEM_PAGE_TABLE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -72,6 +73,41 @@ class PageTable
     }
 
     std::uint64_t numPages() const { return pages_; }
+
+    /** Identity mode preserves virtual alignment (and needs no shared
+     * allocation state — see translateShadowed). */
+    bool identityMode() const { return mode_ == Mode::Identity; }
+
+    /**
+     * Identity-mode translate for lane threads (cpu/lane_sim.hh): the
+     * frame is computed arithmetically, and the only shared side
+     * effect — the first-touch page census — is redirected into the
+     * caller's @p touched set. Lane engines fold those sets back in
+     * with absorbTouched(), making the final page count the size of
+     * the union, independent of the lane partition.
+     */
+    Addr
+    translateShadowed(AsId asid, Addr vaddr,
+                      FlatSet<std::uint64_t> &touched) const
+    {
+        assert(mode_ == Mode::Identity);
+        const std::uint64_t vpage = vaddr >> pageShift_;
+        const std::uint64_t frame = vpage + (std::uint64_t(asid) << 24);
+        touched.insert((std::uint64_t(asid) << 40) ^ vpage);
+        const Addr offset = vaddr & ((Addr(1) << pageShift_) - 1);
+        return (frame << pageShift_) | offset;
+    }
+
+    /** Fold a lane thread's first-touch set back into the shared
+     * census; only genuinely new pages bump the count. */
+    void
+    absorbTouched(const FlatSet<std::uint64_t> &touched)
+    {
+        touched.forEach([this](std::uint64_t key) {
+            if (touched_.insert(key))
+                ++pages_;
+        });
+    }
 
   private:
     struct Key

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Lane-parallel run loop (cpu/lane_sim.hh, DESIGN.md §16).
+ *
+ * The contract under test: for a lane-eligible run, the statistics
+ * tree and every simulated RunResult field are byte-identical for any
+ * lane count k >= 1 — the windowed schedule is fully determined by the
+ * lookahead window, never by the host's thread interleaving. Also
+ * covers the window edge cases (1-tick window, more lanes than
+ * cores), the ineligible-run fallback, and campaign kill/resume
+ * determinism with lanes enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/lane_sim.hh"
+#include "cpu/multicore.hh"
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "harness/store.hh"
+#include "workload/suites.hh"
+
+namespace d2m
+{
+namespace
+{
+
+WorkloadParams
+laneWorkload(unsigned seed = 7)
+{
+    WorkloadParams p;
+    p.instructionsPerCore = 12'000;
+    p.sharedFootprint = 64 * 1024;
+    p.sharedFraction = 0.25;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<std::unique_ptr<AccessStream>>
+streamsFor(const WorkloadParams &p, unsigned cores)
+{
+    std::vector<std::unique_ptr<AccessStream>> v;
+    for (unsigned c = 0; c < cores; ++c)
+        v.push_back(std::make_unique<SyntheticStream>(p, c, 64));
+    return v;
+}
+
+struct LaneRun
+{
+    RunResult r;
+    std::string stats;  //!< Full post-run stats tree, JSON.
+};
+
+LaneRun
+runWith(ConfigKind kind, const SystemParams &base,
+        const WorkloadParams &p, unsigned lane_jobs, Tick window = 0,
+        std::uint64_t warmup = 0, std::uint64_t inv_period = 0)
+{
+    auto sys = makeSystem(kind, base);
+    auto streams = streamsFor(p, sys->params().numNodes);
+    RunOptions opts;
+    opts.laneJobs = lane_jobs;
+    opts.laneWindow = window;
+    opts.warmupInstsPerCore = warmup;
+    opts.invariantCheckPeriod = inv_period;
+    LaneRun lr;
+    lr.r = runMulticore(*sys, streams, opts);
+    std::ostringstream os;
+    sys->printJson(os);
+    lr.stats = os.str();
+    return lr;
+}
+
+void
+expectEqualRuns(const LaneRun &ref, const LaneRun &got,
+                const std::string &what)
+{
+    EXPECT_EQ(ref.stats, got.stats) << what << ": stats tree diverged";
+    EXPECT_EQ(ref.r.cycles, got.r.cycles) << what;
+    EXPECT_EQ(ref.r.instructions, got.r.instructions) << what;
+    EXPECT_EQ(ref.r.accesses, got.r.accesses) << what;
+    EXPECT_EQ(ref.r.lateHitsI, got.r.lateHitsI) << what;
+    EXPECT_EQ(ref.r.lateHitsD, got.r.lateHitsD) << what;
+    EXPECT_EQ(ref.r.mergedMissesI, got.r.mergedMissesI) << what;
+    EXPECT_EQ(ref.r.mergedMissesD, got.r.mergedMissesD) << what;
+    EXPECT_EQ(ref.r.totalAccessLatency, got.r.totalAccessLatency)
+        << what;
+    EXPECT_EQ(ref.r.valueErrors, got.r.valueErrors) << what;
+    EXPECT_EQ(ref.r.invariantErrors, got.r.invariantErrors) << what;
+    EXPECT_EQ(ref.r.firstError, got.r.firstError) << what;
+}
+
+// ---- Serial (k=1) vs multi-lane equivalence -------------------------
+
+TEST(LaneSim, D2mEightNodesSerialVsLanes)
+{
+    // Fig. 5 style configuration: the full D2M system at the paper's
+    // maximum node count, with warmup and invariant checks enabled so
+    // the barrier-granularity reset/check paths are also equivalent.
+    SystemParams base;
+    base.numNodes = 8;
+    const auto p = laneWorkload(11);
+    const LaneRun ref =
+        runWith(ConfigKind::D2mNsR, base, p, 1, 0, 4'000, 2'000);
+    EXPECT_EQ(ref.r.valueErrors, 0u) << ref.r.firstError;
+    EXPECT_EQ(ref.r.invariantErrors, 0u) << ref.r.firstError;
+    for (unsigned k : {2u, 4u}) {
+        const LaneRun got =
+            runWith(ConfigKind::D2mNsR, base, p, k, 0, 4'000, 2'000);
+        expectEqualRuns(ref, got, "D2M-NS-R k=" + std::to_string(k));
+    }
+}
+
+TEST(LaneSim, BaselineSixteenNodesSerialVsLanes)
+{
+    // Fig. 7 style scaling point: a 16-core baseline (D2M configs cap
+    // at 8 nodes by the LI encoding; the scaling figure's large core
+    // counts come from the baselines).
+    SystemParams base;
+    base.numNodes = 16;
+    const auto p = laneWorkload(23);
+    const LaneRun ref = runWith(ConfigKind::Base3L, base, p, 1);
+    EXPECT_EQ(ref.r.valueErrors, 0u) << ref.r.firstError;
+    for (unsigned k : {2u, 4u, 8u}) {
+        const LaneRun got = runWith(ConfigKind::Base3L, base, p, k);
+        expectEqualRuns(ref, got, "Base-3L k=" + std::to_string(k));
+    }
+}
+
+TEST(LaneSim, AllConfigsTwoLanesMatchSerial)
+{
+    WorkloadParams p = laneWorkload(5);
+    p.instructionsPerCore = 6'000;
+    for (ConfigKind kind : allConfigs()) {
+        const LaneRun ref = runWith(kind, {}, p, 1);
+        const LaneRun got = runWith(kind, {}, p, 2);
+        expectEqualRuns(ref, got, configKindName(kind));
+        EXPECT_EQ(got.r.valueErrors, 0u)
+            << configKindName(kind) << ": " << got.r.firstError;
+    }
+}
+
+// ---- Window and lane-count edge cases -------------------------------
+
+TEST(LaneSim, EveryWindowSizeIsLaneCountInvariant)
+{
+    // The window size is part of the simulated model (it sets how the
+    // shared-tier drain batches — which is why D2M_LANE_WINDOW joins
+    // the result-store key), so different windows give different, each
+    // fully deterministic, schedules. The contract is that for EVERY
+    // window — including the degenerate 1-tick lookahead, which
+    // maximizes barrier count — the lane count never shows in the
+    // stats.
+    const auto p = laneWorkload(31);
+    for (Tick w : {Tick{1}, Tick{3}, Tick{12}, Tick{96}}) {
+        const LaneRun ref = runWith(ConfigKind::D2mFs, {}, p, 1, w);
+        const LaneRun got = runWith(ConfigKind::D2mFs, {}, p, 4, w);
+        expectEqualRuns(ref, got, "window=" + std::to_string(w));
+        EXPECT_EQ(got.r.valueErrors, 0u)
+            << "window=" << w << ": " << got.r.firstError;
+    }
+}
+
+TEST(LaneSim, MoreLanesThanCoresClamps)
+{
+    const auto p = laneWorkload(41);
+    const LaneRun ref = runWith(ConfigKind::D2mNs, {}, p, 1);
+    // Default params run 4 nodes; 64 lanes must clamp to 4.
+    const LaneRun got = runWith(ConfigKind::D2mNs, {}, p, 64);
+    expectEqualRuns(ref, got, "k=64 on 4 cores");
+}
+
+// ---- Ineligible runs fall back to the classic loop ------------------
+
+TEST(LaneSim, IneligibleRunFallsBackToSerialLoop)
+{
+    // The lane census assumes the serial global interleaving, so a
+    // census-enabled system must refuse lane mode and still complete
+    // correctly through the classic loop.
+    ::setenv("D2M_LANES", "2", 1);
+    auto sys = makeSystem(ConfigKind::D2mNsR);
+    ::unsetenv("D2M_LANES");
+    ASSERT_NE(sys->laneCensus(), nullptr);
+    std::string why;
+    RunOptions opts;
+    opts.laneJobs = 2;
+    EXPECT_FALSE(laneModeEligible(*sys, opts, &why));
+    EXPECT_FALSE(why.empty());
+
+    const auto p = laneWorkload(43);
+    auto streams = streamsFor(p, sys->params().numNodes);
+    const RunResult r = runMulticore(*sys, streams, opts);
+    EXPECT_EQ(r.instructions,
+              static_cast<std::uint64_t>(p.instructionsPerCore) *
+                  sys->params().numNodes);
+    EXPECT_EQ(r.valueErrors, 0u) << r.firstError;
+}
+
+// ---- Campaign kill/resume determinism with lanes enabled ------------
+
+std::vector<NamedWorkload>
+sweepWorkloads()
+{
+    WorkloadParams p;
+    p.instructionsPerCore = 1'500;
+    p.sharedFootprint = 32 * 1024;
+    p.sharedFraction = 0.3;
+    std::vector<NamedWorkload> v;
+    for (int i = 0; i < 2; ++i) {
+        p.seed = 300 + i;
+        v.push_back({"lanes", "wl" + std::to_string(i), p});
+    }
+    return v;
+}
+
+const std::vector<ConfigKind> kSweepConfigs = {ConfigKind::Base2L,
+                                               ConfigKind::D2mNsR};
+
+unsigned cellsStarted = 0;
+
+/** Serial campaign with lanes enabled, in a forked child. */
+[[noreturn]] void
+childSweep(const std::string &storeDir, const std::string &jsonPath,
+           const char *laneJobs, unsigned killAtCell)
+{
+    ::setenv("D2M_STORE_DIR", storeDir.c_str(), 1);
+    ::setenv("D2M_STATS_JSON", jsonPath.c_str(), 1);
+    ::setenv("D2M_LANE_JOBS", laneJobs, 1);
+    SweepOptions opts;
+    opts.verbose = false;
+    opts.warmupInstsPerCore = 500;
+    opts.jobs = 1;
+    opts.runTimeoutMs = 0;
+    opts.runRetries = 0;
+    if (killAtCell) {
+        opts.preRunHook = [killAtCell](const NamedWorkload &, unsigned) {
+            if (++cellsStarted == killAtCell)
+                ::kill(::getpid(), SIGKILL);
+        };
+    }
+    runSweep(kSweepConfigs, sweepWorkloads(), opts);
+    std::fflush(nullptr);
+    ::_exit(campaignExitCode(lastSweepOutcome()));
+}
+
+int
+runChild(const std::string &storeDir, const std::string &jsonPath,
+         const char *laneJobs, unsigned killAtCell, int *termSig)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0)
+        childSweep(storeDir, jsonPath, laneJobs, killAtCell);
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    *termSig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Zero the numeric value following every @p key in a JSON string. */
+void
+zeroJsonField(std::string &doc, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::size_t pos = 0;
+    while ((pos = doc.find(needle, pos)) != std::string::npos) {
+        const std::size_t start = pos + needle.size();
+        std::size_t end = start;
+        while (end < doc.size() && doc[end] != ',' && doc[end] != '}')
+            ++end;
+        doc.replace(start, end - start, "0");
+        pos = start;
+    }
+}
+
+std::string
+normalizedDoc(std::string doc)
+{
+    zeroJsonField(doc, "sim_kips");
+    zeroJsonField(doc, "warmup_wall_sec");
+    zeroJsonField(doc, "measure_wall_sec");
+    return doc;
+}
+
+void
+removeTree(const std::string &dir)
+{
+    for (unsigned s = 0; s < ResultStore::kShards; ++s) {
+        char shard[40];
+        std::snprintf(shard, sizeof(shard), "/shard-%02u.jsonl", s);
+        std::remove((dir + shard).c_str());
+        std::remove((dir + shard + ".tmp").c_str());
+    }
+    ::rmdir(dir.c_str());
+}
+
+TEST(LaneSim, KillResumeWithLanesByteIdentical)
+{
+    ::setenv("D2M_BUILD_FINGERPRINT", "lane-resume-test", 1);
+    ::unsetenv("D2M_STORE_DIR");
+    ::unsetenv("D2M_STATS_JSON");
+    ::unsetenv("D2M_LANE_JOBS");
+    ::unsetenv("D2M_LANE_WINDOW");
+
+    const std::string tmp = testing::TempDir();
+    const std::string store = tmp + "lane_store";
+    const std::string storeRef = tmp + "lane_store_ref";
+    const std::string storeSerial = tmp + "lane_store_serial";
+    const std::string jsonA = tmp + "lane_a.json";
+    const std::string jsonB = tmp + "lane_b.json";
+    const std::string jsonC = tmp + "lane_c.json";
+    const std::string jsonS = tmp + "lane_s.json";
+    removeTree(store);
+    removeTree(storeRef);
+    removeTree(storeSerial);
+
+    // Phase A: 2-lane campaign SIGKILLed when the 3rd cell starts.
+    int sig = 0;
+    runChild(store, jsonA, "2", /*killAtCell=*/3, &sig);
+    ASSERT_EQ(sig, SIGKILL) << "child must die by SIGKILL";
+    {
+        ResultStore partial(store);
+        EXPECT_EQ(partial.size(), 2u);
+    }
+
+    // Phase B: resume with lanes still enabled; phase C: reference
+    // uninterrupted 2-lane campaign.
+    int code = runChild(store, jsonB, "2", 0, &sig);
+    EXPECT_EQ(sig, 0);
+    EXPECT_EQ(code, kCampaignExitClean);
+    code = runChild(storeRef, jsonC, "2", 0, &sig);
+    EXPECT_EQ(sig, 0);
+    EXPECT_EQ(code, kCampaignExitClean);
+
+    const std::string docB = normalizedDoc(readFile(jsonB));
+    const std::string docC = normalizedDoc(readFile(jsonC));
+    ASSERT_FALSE(docB.empty());
+    EXPECT_EQ(docB, docC)
+        << "lane-mode resume must be byte-identical to uninterrupted";
+    // The windowed golden check must hold end to end: every run row
+    // reports zero value errors.
+    EXPECT_NE(docC.find("\"value_errors\":0"), std::string::npos);
+    for (std::size_t pos = 0;
+         (pos = docC.find("\"value_errors\":", pos)) != std::string::npos;
+         ++pos) {
+        EXPECT_EQ(docC[pos + std::string("\"value_errors\":").size()],
+                  '0')
+            << "a lane-mode run reported value errors";
+    }
+
+    // Cross-k determinism end to end: a 4-lane campaign's stats
+    // document is byte-identical (modulo host timing) to the 2-lane
+    // one — the ISSUE's serial-vs-lanes bar at the document level.
+    code = runChild(storeSerial, jsonS, "4", 0, &sig);
+    EXPECT_EQ(sig, 0);
+    EXPECT_EQ(code, kCampaignExitClean);
+    EXPECT_EQ(normalizedDoc(readFile(jsonS)), docC)
+        << "lane count must not leak into the stats document";
+
+    std::remove(jsonA.c_str());
+    std::remove(jsonB.c_str());
+    std::remove(jsonC.c_str());
+    std::remove(jsonS.c_str());
+    removeTree(store);
+    removeTree(storeRef);
+    removeTree(storeSerial);
+    ::unsetenv("D2M_BUILD_FINGERPRINT");
+}
+
+} // namespace
+} // namespace d2m
