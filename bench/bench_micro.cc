@@ -40,8 +40,7 @@ BM_RegionStoreLookup(benchmark::State &state)
     Rng rng(1);
     for (int i = 0; i < 2048; ++i) {
         Md2Entry &e = store.victimFor(i);
-        e.valid = true;
-        e.key = i;
+        store.bind(e, i);
         store.markInstalled(e);
     }
     for (auto _ : state)

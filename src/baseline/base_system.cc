@@ -1,6 +1,7 @@
 #include "baseline/base_system.hh"
 
 #include "common/logging.hh"
+#include "cpu/batch_kernel.hh"
 #include "fault/base_fault_model.hh"
 #include "obs/debug.hh"
 #include "obs/selfprof.hh"
@@ -390,7 +391,7 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
 
     AccessResult result;
     ClassicLine *line = l1.lookup(line_addr);
-    if (line) {
+    if (line) [[likely]] {
         if (store && line->state == Mesi::S) {
             // Upgrade through the directory.
             DTRACE(Coherence, this,
@@ -516,6 +517,20 @@ BaselineSystem::access(NodeId node, const MemAccess &acc, Tick)
     stats_.missLatency.sample(lat);
     stats_.accessLatency.sample(lat);
     return result;
+}
+
+void
+BaselineSystem::accessBatch(BatchCtx &bc)
+{
+    // Instantiated with the concrete type: access() is final, so the
+    // per-access call in the kernel devirtualizes and inlines.
+    runBatchKernel(*this, bc);
+}
+
+bool
+BaselineSystem::laneBatch(LaneBatchCtx &bc)
+{
+    return runLaneBatchKernel(*this, bc);
 }
 
 bool

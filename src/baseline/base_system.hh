@@ -39,14 +39,19 @@ class BaselineSystem : public MemorySystem
     BaselineSystem(std::string name, const SystemParams &params);
     ~BaselineSystem() override;
 
+    // `final` so the batch kernels instantiated by accessBatch() /
+    // laneBatch() below devirtualize the per-access call.
     AccessResult access(NodeId node, const MemAccess &acc,
-                        Tick now) override;
+                        Tick now) final;
 
     /** Lane-confined fast path: L1 hits (minus S-store upgrades) and
      * node-local L2 hits (see DESIGN.md §16). */
     bool accessConfined(NodeId node, const MemAccess &acc, Addr line_addr,
                         Tick now, LaneShadow &sh,
-                        AccessResult &res) override;
+                        AccessResult &res) final;
+
+    void accessBatch(BatchCtx &bc) final;
+    bool laneBatch(LaneBatchCtx &bc) final;
 
     void laneMerge(const LaneShadow &sh) override;
 

@@ -11,7 +11,8 @@ ClassicCache::ClassicCache(std::string name, SimObject *parent,
     : SimObject(std::move(name), parent),
       geom_(total_lines, assoc, line_shift),
       lines_(total_lines),
-      victimScratch_(assoc),
+      tagMirror_(total_lines, invalidAddr),
+      replStates_(total_lines),
       repl_(makeReplacement(repl))
 {}
 
@@ -21,7 +22,7 @@ ClassicCache::lookup(Addr line_addr)
     ClassicLine *line = probe(line_addr);
     if (line) {
         ++clock_;
-        repl_->touch(line->repl, clock_);
+        repl_->touch(replStates_[indexOf(*line)], clock_);
     }
     return line;
 }
@@ -29,9 +30,14 @@ ClassicCache::lookup(Addr line_addr)
 ClassicLine *
 ClassicCache::probe(Addr line_addr)
 {
-    const std::uint32_t set = geom_.setIndex(line_addr << geom_.unitShift());
+    const std::uint32_t base =
+        geom_.setIndex(line_addr << geom_.unitShift()) * geom_.assoc();
+    const Addr *tags = tagMirror_.data() + base;
     for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
-        ClassicLine &line = lines_[set * geom_.assoc() + w];
+        if (tags[w] != line_addr)
+            continue;
+        // Mirror hits are candidates only: verify against the line.
+        ClassicLine &line = lines_[base + w];
         if (line.valid() && line.lineAddr == line_addr)
             return eccChecked(&line);
     }
@@ -43,9 +49,13 @@ ClassicCache::probe(Addr line_addr) const
 {
     // Raw tag scan: const observers (checkers) must not trigger the
     // ECC scrub a mutable probe models.
-    const std::uint32_t set = geom_.setIndex(line_addr << geom_.unitShift());
+    const std::uint32_t base =
+        geom_.setIndex(line_addr << geom_.unitShift()) * geom_.assoc();
+    const Addr *tags = tagMirror_.data() + base;
     for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
-        const ClassicLine &line = lines_[set * geom_.assoc() + w];
+        if (tags[w] != line_addr)
+            continue;
+        const ClassicLine &line = lines_[base + w];
         if (line.valid() && line.lineAddr == line_addr)
             return &line;
     }
@@ -61,9 +71,8 @@ ClassicCache::victimFor(Addr line_addr)
         if (!base[w].valid())
             return base[w];
     }
-    for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
-        victimScratch_[w] = &base[w].repl;
-    const std::uint32_t victim = repl_->victim(victimScratch_, nullptr);
+    const std::uint32_t victim = repl_->victim(
+        replStates_.data() + set * geom_.assoc(), geom_.assoc(), nullptr);
     return *eccChecked(&base[victim]);
 }
 
@@ -90,18 +99,20 @@ ClassicCache::install(ClassicLine &slot, Addr line_addr, Mesi state,
     slot.dirty = false;
     slot.sharers = 0;
     slot.owner = invalidNode;
+    tagMirror_[indexOf(slot)] = line_addr;
     ++clock_;
-    repl_->install(slot.repl, clock_);
+    repl_->install(replStates_[indexOf(slot)], clock_);
 }
 
 bool
 ClassicCache::isMru(const ClassicLine &line) const
 {
-    const std::uint32_t set =
-        geom_.setIndex(line.lineAddr << geom_.unitShift());
+    const std::uint32_t base =
+        geom_.setIndex(line.lineAddr << geom_.unitShift()) * geom_.assoc();
+    const std::uint64_t touch = replStates_[indexOf(line)].lastTouch;
     for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
-        const ClassicLine &other = lines_[set * geom_.assoc() + w];
-        if (other.valid() && other.repl.lastTouch > line.repl.lastTouch)
+        const ClassicLine &other = lines_[base + w];
+        if (other.valid() && replStates_[base + w].lastTouch > touch)
             return false;
     }
     return true;

@@ -33,7 +33,6 @@ struct ClassicLine
     Mesi state = Mesi::I;
     std::uint64_t value = 0;      //!< Simulated line contents.
     bool dirty = false;           //!< LLC: newer than memory.
-    ReplState repl;
 
     // Directory fields (used at the LLC level only).
     std::uint64_t sharers = 0;    //!< Bit per node with a (possibly
@@ -141,10 +140,24 @@ class ClassicCache : public SimObject
         return line;
     }
 
+    std::uint32_t
+    indexOf(const ClassicLine &line) const
+    {
+        return static_cast<std::uint32_t>(&line - lines_.data());
+    }
+
     SetAssocGeometry geom_;
     std::vector<ClassicLine> lines_;
-    /** Victim-selection scratch: no heap allocation per eviction. */
-    std::vector<ReplState *> victimScratch_;
+    /**
+     * Packed tag mirror, written only by install(): probes scan this
+     * array and verify candidates against the authoritative line, so
+     * invalidation never maintains the mirror (a stale slot is
+     * filtered; false negatives are impossible because install() is
+     * the only valid-making writer of lineAddr).
+     */
+    std::vector<Addr> tagMirror_;
+    /** Per-line replacement state, contiguous per set (SoA). */
+    std::vector<ReplState> replStates_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
     FaultInjector *faults_ = nullptr;

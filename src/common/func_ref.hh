@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FuncRef: a non-owning, non-allocating reference to a callable.
+ *
+ * The hot-path replacement for std::function in victim selection: a
+ * std::function parameter heap-allocates when a capturing lambda is
+ * passed, and victim selection sits on every miss. A FuncRef is two
+ * words (object pointer + trampoline) and binds to any callable with
+ * a matching signature.
+ *
+ * Lifetime rule: a FuncRef does not extend the life of its target.
+ * It is only safe as a function parameter consumed within the call
+ * (the pattern used throughout this repo); never store one.
+ */
+
+#ifndef D2M_COMMON_FUNC_REF_HH
+#define D2M_COMMON_FUNC_REF_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace d2m
+{
+
+template <typename Sig>
+class FuncRef;
+
+template <typename R, typename... Args>
+class FuncRef<R(Args...)>
+{
+  public:
+    FuncRef() = default;
+    FuncRef(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, FuncRef> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    FuncRef(F &&fn)
+        : obj_(const_cast<void *>(static_cast<const void *>(&fn))),
+          call_([](void *obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(obj))(
+                  std::forward<Args>(args)...);
+          })
+    {}
+
+    explicit operator bool() const { return call_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj_ = nullptr;
+    R (*call_)(void *, Args...) = nullptr;
+};
+
+} // namespace d2m
+
+#endif // D2M_COMMON_FUNC_REF_HH

@@ -1,0 +1,25 @@
+#include "cpu/batch_kernel.hh"
+
+#include "cpu/mem_system.hh"
+
+namespace d2m
+{
+
+// Generic fallbacks: run the kernels through the virtual
+// access()/accessConfined() dispatch. Functionally identical to the
+// concrete overrides (D2mSystem, BaselineSystem), just without the
+// devirtualized inner call — any third system gets batching for free.
+
+void
+MemorySystem::accessBatch(BatchCtx &bc)
+{
+    runBatchKernel(*this, bc);
+}
+
+bool
+MemorySystem::laneBatch(LaneBatchCtx &bc)
+{
+    return runLaneBatchKernel(*this, bc);
+}
+
+} // namespace d2m

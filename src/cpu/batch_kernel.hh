@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Data-oriented micro-batched access kernels.
+ *
+ * The classic run loops (cpu/multicore.cc, cpu/lane_sim.cc) pay a
+ * virtual MemorySystem::access()/accessConfined() dispatch plus a
+ * handful of observability guards (trace gate, debug-tick stamp,
+ * progress poll) on every simulated access. The templates here execute
+ * the same loop bodies over a micro-batch of accesses per call, so:
+ *
+ *  - the virtual dispatch happens once per batch: the concrete systems
+ *    override accessBatch()/laneBatch() to instantiate the kernel with
+ *    their own type, and their access()/accessConfined() are `final`,
+ *    so the calls inside the loop devirtualize and inline;
+ *  - the trace/debug gate is evaluated once per batch and, when cold,
+ *    the per-access debug-tick stamp collapses to one store at the
+ *    batch edge;
+ *  - the campaign progress/cancel poll moves to the driver, once per
+ *    batch instead of once per access.
+ *
+ * Equivalence contract: a batched run produces byte-identical
+ * statistics to the classic loop for every batch size. Everything
+ * statistics-visible stays per-access and in the classic order —
+ * scheduler argmin, stream pull, translation, heartbeat, census,
+ * snapshot tick, golden-memory check, merged/late-hit bookkeeping and
+ * the periodic invariant check all execute exactly where the classic
+ * loop executes them. A batch breaks early at the warmup boundary
+ * (before the access that crosses it, like the classic top-of-loop
+ * check) and the lane kernel is bounded by the conservative-PDES
+ * window edge, so a batch never crosses a lookahead boundary.
+ *
+ * Knobs: D2M_BATCH (RunOptions::batch) sets the micro-batch size;
+ * 0 preserves the classic per-access loops verbatim.
+ */
+
+#ifndef D2M_CPU_BATCH_KERNEL_HH
+#define D2M_CPU_BATCH_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/multicore.hh"
+#include "cpu/ooo_model.hh"
+#include "mem/golden_memory.hh"
+#include "mem/page_table.hh"
+#include "obs/debug.hh"
+#include "obs/profiler.hh"
+#include "obs/selfprof.hh"
+#include "obs/snapshot.hh"
+#include "obs/trace.hh"
+#include "workload/stream.hh"
+
+namespace d2m
+{
+
+/**
+ * Serial-loop state borrowed by the batch kernel for one call. All
+ * members reference the driver's locals, so the classic epilogue
+ * (warmup offset subtraction, profiler finish) reads the same
+ * variables regardless of which loop ran.
+ */
+struct BatchCtx
+{
+    std::vector<OooModel> &cores;
+    std::vector<std::unique_ptr<AccessStream>> &streams;
+    std::vector<bool> &active;
+    GoldenMemory &golden;
+    RunResult &result;
+    obs::SimRateProfiler &profiler;
+    const RunOptions &opts;
+    std::uint64_t warmupTotal;  //!< warmupInstsPerCore * numNodes.
+    std::uint64_t batch;        //!< Max accesses executed per call.
+    unsigned &remaining;
+    bool &warm;
+    std::uint64_t &totalCommitted;
+    std::uint64_t &instsAtReset;
+    Tick &cyclesAtReset;
+};
+
+/**
+ * Execute up to @p c.batch accesses of the serial run loop against the
+ * concrete system @p sys. Mirrors the classic loop body in
+ * cpu/multicore.cc statement for statement (including the self-profiler
+ * scope tree, so site coverage is loop-shape independent); see the file
+ * comment for the equivalence contract.
+ */
+template <typename Sys>
+void
+runBatchKernel(Sys &sys, BatchCtx &c)
+{
+    const unsigned n = static_cast<unsigned>(c.cores.size());
+    obs::SelfProfiler *const sp = sys.selfProf();
+    obs::LaneCensus *const census = sys.laneCensus();
+    const unsigned line_shift = sys.params().lineShift();
+    PageTable &page_table = sys.pageTable();
+    // Hoisted observability gate: when neither the binary trace sink
+    // nor any debug flag is live, nothing reads debug::curTick until
+    // the next batch edge (snapshot resets pass the issue tick
+    // explicitly below), so the per-access stamp becomes one store at
+    // the end of the batch. Both gates are run-constant.
+    const bool stamped = obs::traceEnabled() || debug::enabledMask != 0;
+    Tick last_issue = debug::curTick;
+
+    for (std::uint64_t executed = 0;
+         executed < c.batch && c.remaining > 0;) {
+        if (!c.warm && c.totalCommitted >= c.warmupTotal) {
+            c.warm = true;
+            // Close the in-flight warmup interval against the
+            // pre-reset counters before they vanish. last_issue is the
+            // previous access's issue tick — exactly what debug::curTick
+            // holds at this point in the classic loop.
+            if (c.opts.snapshotter) [[unlikely]]
+                c.opts.snapshotter->statsReset(c.totalCommitted,
+                                               last_issue);
+            sys.resetStats();
+            c.profiler.phaseReset();
+            // No ProfScope is open here (the iteration root opens
+            // below), so the timer tree resets cleanly.
+            if (c.opts.selfprof) [[unlikely]]
+                c.opts.selfprof->phaseReset();
+            obs::traceEvent(obs::TraceKind::StatsReset, 0);
+            c.instsAtReset = c.totalCommitted;
+            for (const auto &core : c.cores) {
+                c.cyclesAtReset =
+                    std::max(c.cyclesAtReset, core.finishTime());
+            }
+            c.result.accesses = 0;
+            c.result.totalAccessLatency = 0;
+            c.result.lateHitsI = c.result.lateHitsD = 0;
+            c.result.mergedMissesI = c.result.mergedMissesD = 0;
+        }
+        // One simulated-access iteration under a single root scope,
+        // exactly like the classic loop (see the comment there).
+        obs::ProfScope iterScope(sp, obs::ProfSite::Kernel);
+
+        // Pick the active core with the smallest issue clock.
+        unsigned best = n;
+        {
+            obs::ProfScope ps(sp, obs::ProfSite::Sched);
+            for (unsigned i = 0; i < n; ++i) {
+                if (c.active[i] &&
+                    (best == n ||
+                     c.cores[i].now() < c.cores[best].now())) {
+                    best = i;
+                }
+            }
+        }
+        OooModel &core = c.cores[best];
+
+        MemAccess acc;
+        {
+            obs::ProfScope ps(sp, obs::ProfSite::Workload);
+            if (!c.streams[best]->next(acc)) {
+                c.active[best] = false;
+                --c.remaining;
+                continue;
+            }
+        }
+
+        Addr paddr;
+        {
+            obs::ProfScope ps(sp, obs::ProfSite::Translate);
+            paddr = page_table.translate(acc.asid, acc.vaddr);
+        }
+        const Addr line_addr = paddr >> line_shift;
+        const bool merged = core.wouldBeLateHit(line_addr);
+
+        if (acc.instCount > 0) {
+            {
+                obs::ProfScope ps(sp, obs::ProfSite::CoreModel);
+                core.issueInstructions(acc.instCount);
+                core.countInstructions(acc.instCount);
+            }
+            c.totalCommitted += acc.instCount;
+            if (c.profiler.maybeHeartbeat(c.totalCommitted,
+                                          c.result.accesses)) {
+                ++c.result.heartbeats;
+                if (c.opts.selfprof) [[unlikely]]
+                    c.opts.selfprof->emitTraceCounters();
+            }
+        }
+
+        last_issue = core.now();
+        if (stamped) [[unlikely]] {
+            debug::setCurTick(last_issue);
+            if (obs::traceEnabled() ||
+                debug::enabled(debug::Flag::Exec)) {
+                const unsigned op =
+                    isIFetch(acc.type) ? 0 : isWrite(acc.type) ? 2 : 1;
+                DTRACE(Exec, &sys, "node%u %s line 0x%llx", best,
+                       op == 0 ? "ifetch" : op == 1 ? "load" : "store",
+                       static_cast<unsigned long long>(line_addr));
+                obs::traceEvent(obs::TraceKind::AccessIssue, best,
+                                line_addr, op);
+            }
+        }
+        if (census) [[unlikely]]
+            census->noteAccess(best);
+        const AccessResult res = sys.access(best, acc, core.now());
+        obs::traceEvent(obs::TraceKind::AccessComplete, best, line_addr,
+                        res.latency, res.l1Miss);
+        ++c.result.accesses;
+        ++executed;
+        c.result.totalAccessLatency += res.latency;
+        if (c.opts.snapshotter) [[unlikely]] {
+            obs::ProfScope ps(sp, obs::ProfSite::Snapshot);
+            c.opts.snapshotter->tick(c.totalCommitted, core.now());
+        }
+
+        if (merged) {
+            if (isIFetch(acc.type)) {
+                ++c.result.lateHitsI;
+                if (res.l1Miss)
+                    ++c.result.mergedMissesI;
+            } else {
+                ++c.result.lateHitsD;
+                if (res.l1Miss)
+                    ++c.result.mergedMissesD;
+            }
+        }
+
+        {
+            obs::ProfScope ps(sp, obs::ProfSite::CoreModel);
+            core.issueMemAccess(line_addr, res.latency, res.l1Miss,
+                                isIFetch(acc.type));
+        }
+
+        if (c.opts.checkValues) {
+            obs::ProfScope ps(sp, obs::ProfSite::ValueCheck);
+            if (isWrite(acc.type)) {
+                c.golden.store(line_addr, acc.storeValue);
+            } else {
+                const std::uint64_t expect = c.golden.load(line_addr);
+                if (res.loadValue != expect) {
+                    ++c.result.valueErrors;
+                    if (c.result.firstError.empty()) {
+                        c.result.firstError = vformat(
+                            "value mismatch at line 0x%llx: got %llu, "
+                            "expected %llu",
+                            static_cast<unsigned long long>(line_addr),
+                            static_cast<unsigned long long>(
+                                res.loadValue),
+                            static_cast<unsigned long long>(expect));
+                    }
+                }
+            }
+        }
+
+        if (c.opts.invariantCheckPeriod &&
+            c.result.accesses % c.opts.invariantCheckPeriod == 0) {
+            obs::ProfScope ps(sp, obs::ProfSite::Invariants);
+            if (auto *fi = sys.faultInjector();
+                fi && fi->detectionEnabled()) {
+                fi->sweep();
+            }
+            std::string why;
+            if (!sys.checkInvariants(why)) {
+                ++c.result.invariantErrors;
+                if (c.result.firstError.empty())
+                    c.result.firstError = why;
+            }
+        }
+    }
+    if (!stamped)
+        debug::setCurTick(last_issue);
+}
+
+/**
+ * One executed access in a lane window's deterministic operation log,
+ * keyed by (now, node, seq). seq is a per-node monotone counter, so
+ * the key totally orders the log independent of which thread executed
+ * what (see cpu/lane_sim.cc).
+ */
+struct LaneOp
+{
+    Tick now;
+    NodeId node;
+    std::uint64_t seq;
+    Addr line;
+    std::uint64_t value;  //!< Store value, or the observed load value.
+    bool isWrite;
+    bool drained;  //!< Replayed at the barrier (after all inline ops).
+};
+
+/** An access whose effects leave the node: replayed at the barrier. */
+struct ParkedAccess
+{
+    Tick now;
+    NodeId node;
+    std::uint64_t seq;
+    Addr line;
+    MemAccess acc;
+    bool merged;  //!< wouldBeLateHit at issue time.
+};
+
+/**
+ * Per-lane working state. Everything here is touched only by the
+ * owning lane thread during a window and only by the main thread at
+ * barriers, so no field needs atomics.
+ */
+struct LaneState
+{
+    std::vector<unsigned> cores;  //!< Node ids striped core % k.
+    LaneShadow shadow;
+    std::vector<LaneOp> ops;
+    std::vector<ParkedAccess> parked;
+    // Window accumulators for the confined fast path, folded into the
+    // RunResult at each barrier (exact integer sums: k-invariant).
+    std::uint64_t committed = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t latency = 0;
+    std::uint64_t lateHitsI = 0, lateHitsD = 0;
+    std::uint64_t mergedMissesI = 0, mergedMissesD = 0;
+};
+
+/**
+ * One lane's borrowed view of the lane engine's shared state. Shared
+ * arrays are indexed only at this lane's core ids (disjoint across
+ * lanes); windowEnd is republished by the owning lane thread from the
+ * engine's captured window bound after each crew barrier.
+ */
+struct LaneBatchCtx
+{
+    std::vector<OooModel> &cores;
+    std::vector<std::unique_ptr<AccessStream>> &streams;
+    PageTable &pageTable;
+    std::uint8_t *active;
+    std::uint8_t *parkedAt;
+    std::uint64_t *seq;
+    unsigned lineShift;
+    bool checkValues;
+    std::uint64_t batch;  //!< Max accesses executed per call.
+    LaneState &lane;
+    Tick windowEnd = 0;   //!< Lookahead edge; a batch never crosses it.
+};
+
+/**
+ * Execute up to @p c.batch accesses of one lane's share of the current
+ * window: the serial scheduler restricted to the lane, identical to
+ * the inline loop in cpu/lane_sim.cc. Runs on a lane thread; touches
+ * only lane-confined state (shared-array elements owned by this lane's
+ * cores plus the lane shadow).
+ *
+ * @return true when the batch filled up with the window still open
+ *         (call again); false when no eligible core remains below the
+ *         window edge.
+ */
+template <typename Sys>
+bool
+runLaneBatchKernel(Sys &sys, LaneBatchCtx &c)
+{
+    LaneState &lane = c.lane;
+    const Tick wEnd = c.windowEnd;
+    for (std::uint64_t executed = 0; executed < c.batch;) {
+        unsigned best = ~0u;
+        for (unsigned cid : lane.cores) {
+            if (!c.active[cid] || c.parkedAt[cid])
+                continue;
+            if (c.cores[cid].now() >= wEnd)
+                continue;
+            if (best == ~0u ||
+                c.cores[cid].now() < c.cores[best].now()) {
+                best = cid;
+            }
+        }
+        if (best == ~0u)
+            return false;
+        OooModel &core = c.cores[best];
+
+        MemAccess acc;
+        if (!c.streams[best]->next(acc)) {
+            c.active[best] = 0;
+            continue;
+        }
+
+        const Addr paddr = c.pageTable.translateShadowed(
+            acc.asid, acc.vaddr, lane.shadow.touchedPages);
+        const Addr line_addr = paddr >> c.lineShift;
+        const bool merged = core.wouldBeLateHit(line_addr);
+
+        if (acc.instCount > 0) {
+            core.issueInstructions(acc.instCount);
+            core.countInstructions(acc.instCount);
+            lane.committed += acc.instCount;
+        }
+        const Tick issue = core.now();
+        const std::uint64_t s = c.seq[best]++;
+        ++executed;
+
+        AccessResult res;
+        if (sys.accessConfined(best, acc, line_addr, issue, lane.shadow,
+                               res)) {
+            ++lane.accesses;
+            lane.latency += res.latency;
+            if (merged) {
+                if (isIFetch(acc.type)) {
+                    ++lane.lateHitsI;
+                    if (res.l1Miss)
+                        ++lane.mergedMissesI;
+                } else {
+                    ++lane.lateHitsD;
+                    if (res.l1Miss)
+                        ++lane.mergedMissesD;
+                }
+            }
+            core.issueMemAccess(line_addr, res.latency, res.l1Miss,
+                                isIFetch(acc.type));
+            if (c.checkValues) {
+                lane.ops.push_back(
+                    {issue, static_cast<NodeId>(best), s, line_addr,
+                     isWrite(acc.type) ? acc.storeValue : res.loadValue,
+                     isWrite(acc.type), /*drained=*/false});
+            }
+        } else {
+            // Leaves the node: the core stalls until the barrier
+            // replays it (at most one parked access per core per
+            // window, so the drain batch stays small).
+            c.parkedAt[best] = 1;
+            lane.parked.push_back({issue, static_cast<NodeId>(best), s,
+                                   line_addr, acc, merged});
+        }
+    }
+    return true;
+}
+
+} // namespace d2m
+
+#endif // D2M_CPU_BATCH_KERNEL_HH

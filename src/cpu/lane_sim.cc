@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "cpu/batch_kernel.hh"
 #include "obs/debug.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
@@ -19,52 +20,9 @@ namespace d2m
 namespace
 {
 
-/**
- * One executed access in a window's deterministic operation log, keyed
- * by (now, node, seq). seq is a per-node monotone counter, so the key
- * totally orders the log independent of which thread executed what.
- */
-struct LaneOp
-{
-    Tick now;
-    NodeId node;
-    std::uint64_t seq;
-    Addr line;
-    std::uint64_t value;  //!< Store value, or the observed load value.
-    bool isWrite;
-    bool drained;  //!< Replayed at the barrier (after all inline ops).
-};
-
-/** An access whose effects leave the node: replayed at the barrier. */
-struct ParkedAccess
-{
-    Tick now;
-    NodeId node;
-    std::uint64_t seq;
-    Addr line;
-    MemAccess acc;
-    bool merged;  //!< wouldBeLateHit at issue time.
-};
-
-/**
- * Per-lane working state. Everything here is touched only by the
- * owning lane thread during a window and only by the main thread at
- * barriers, so no field needs atomics.
- */
-struct LaneState
-{
-    std::vector<unsigned> cores;  //!< Node ids striped core % k.
-    LaneShadow shadow;
-    std::vector<LaneOp> ops;
-    std::vector<ParkedAccess> parked;
-    // Window accumulators for the confined fast path, folded into the
-    // RunResult at each barrier (exact integer sums: k-invariant).
-    std::uint64_t committed = 0;
-    std::uint64_t accesses = 0;
-    std::uint64_t latency = 0;
-    std::uint64_t lateHitsI = 0, lateHitsD = 0;
-    std::uint64_t mergedMissesI = 0, mergedMissesD = 0;
-};
+// LaneOp / ParkedAccess / LaneState moved to cpu/batch_kernel.hh: the
+// micro-batched lane kernel shares them with the inline window loop
+// below.
 
 /**
  * Persistent worker crew with an epoch barrier. The main thread
@@ -308,11 +266,33 @@ runMulticoreLanes(MemorySystem &system,
     // Window bound, published to the lanes through the crew barrier.
     Tick windowEnd = window;
 
+    // Micro-batched lane kernel (cpu/batch_kernel.hh): same resolution
+    // as the serial loop; 0 keeps the inline per-access loop below.
+    // Each lane owns one context; the window edge bounds every batch,
+    // so a batch never crosses the conservative-PDES lookahead.
+    std::uint64_t batch = opts.batch;
+    if (batch == ~std::uint64_t{0})
+        batch = envU64("D2M_BATCH", 64);
+    std::vector<LaneBatchCtx> lane_ctxs;
+    lane_ctxs.reserve(k);
+    for (unsigned li = 0; li < k; ++li) {
+        lane_ctxs.push_back(LaneBatchCtx{
+            cores, streams, pageTable, active.data(), parkedAt.data(),
+            seq.data(), lineShift, checkValues, batch,
+            lane_states[li]});
+    }
+
     // One lane's share of a window: repeatedly run this lane's
     // unparked active core with the smallest clock below windowEnd —
     // the serial scheduler restricted to the lane, which is what makes
     // the per-core trajectories identical for every k.
     auto laneWindow = [&](unsigned li) {
+        if (batch > 0) {
+            LaneBatchCtx &bc = lane_ctxs[li];
+            bc.windowEnd = windowEnd;
+            while (system.laneBatch(bc)) {}
+            return;
+        }
         LaneState &lane = lane_states[li];
         const Tick wEnd = windowEnd;
         for (;;) {

@@ -34,6 +34,9 @@
 namespace d2m
 {
 
+struct BatchCtx;
+struct LaneBatchCtx;
+
 /**
  * Per-lane statistics accumulator for the lane-parallel run mode
  * (cpu/lane_sim.hh).
@@ -137,6 +140,24 @@ class MemorySystem : public SimObject
         (void)res;
         return false;
     }
+
+    /**
+     * Execute up to one micro-batch of serial run-loop accesses (see
+     * cpu/batch_kernel.hh). The default runs the generic kernel
+     * through the virtual access(); the concrete systems override it
+     * to instantiate the kernel with their own type so the per-access
+     * call devirtualizes and inlines.
+     */
+    virtual void accessBatch(BatchCtx &bc);
+
+    /**
+     * Execute up to one micro-batch of one lane's window share (see
+     * cpu/batch_kernel.hh). Same devirtualization story as
+     * accessBatch(); called from lane threads, confined like
+     * accessConfined(). @return true while the batch filled with the
+     * window still open.
+     */
+    virtual bool laneBatch(LaneBatchCtx &bc);
 
     /**
      * Fold one lane shadow into the primary statistics. Runs on the

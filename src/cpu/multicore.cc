@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "cpu/batch_kernel.hh"
 #include "cpu/lane_sim.hh"
 #include "obs/debug.hh"
 #include "obs/profiler.hh"
@@ -84,6 +85,43 @@ runMulticore(MemorySystem &system,
     } selfprofUnwire{system};
 
     unsigned remaining = n;
+
+    // Micro-batched fast path (cpu/batch_kernel.hh): explicit option
+    // wins, then the D2M_BATCH environment knob; 0 keeps the classic
+    // per-access loop below. Both loops share the same locals, so the
+    // epilogue after them is loop-shape independent — and the batched
+    // kernel mirrors the classic body statement for statement, so the
+    // statistics are byte-identical either way.
+    std::uint64_t batch = opts.batch;
+    if (batch == ~std::uint64_t{0})
+        batch = envU64("D2M_BATCH", 64);
+    if (batch > 0) {
+        BatchCtx bc{cores,        streams, active,
+                    golden,       result,  profiler,
+                    opts,         warmup_total, batch,
+                    remaining,    warm,    total_committed,
+                    insts_at_reset, cycles_at_reset};
+        while (remaining > 0) {
+            if (opts.progress) [[unlikely]] {
+                // Liveness + cancellation poll, once per batch: the
+                // progress value just has to keep moving, and a cancel
+                // is acted on within one micro-batch.
+                opts.progress->store(
+                    result.accesses + total_committed + 1,
+                    std::memory_order_relaxed);
+                if (opts.instsProgress) {
+                    opts.instsProgress->store(total_committed,
+                                              std::memory_order_relaxed);
+                }
+                if (opts.cancel &&
+                    opts.cancel->load(std::memory_order_relaxed) != 0) {
+                    fatal("run cancelled by campaign watchdog/drain "
+                          "(timeout or shutdown requested)");
+                }
+            }
+            system.accessBatch(bc);
+        }
+    } else
     while (remaining > 0) {
         if (opts.progress) [[unlikely]] {
             // Liveness + cancellation poll: one relaxed store and one

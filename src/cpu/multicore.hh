@@ -107,6 +107,16 @@ struct RunOptions
     const std::atomic<int> *cancel = nullptr;
 
     /**
+     * Micro-batch size for the data-oriented access kernel
+     * (cpu/batch_kernel.hh): the run loop hands this many accesses at
+     * a time to MemorySystem::accessBatch(), devirtualizing the
+     * per-access dispatch and hoisting the observability guards to the
+     * batch edge. Statistics are byte-identical for every batch size.
+     * ~0 (the default) resolves from the D2M_BATCH environment knob
+     * (default 64); an explicit 0 forces the classic per-access loop.
+     */
+    std::uint64_t batch = ~std::uint64_t{0};
+    /**
      * Lane-parallel execution (cpu/lane_sim.hh): number of PDES lanes
      * the cores are striped into. ~0u (the default) resolves from the
      * D2M_LANE_JOBS environment knob (0/unset = classic serial loop);

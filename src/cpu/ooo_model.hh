@@ -90,6 +90,10 @@ class OooModel
     bool
     wouldBeLateHit(Addr line_addr) const
     {
+        // Hit-heavy phases keep no outstanding misses; skip the hash
+        // probe entirely in that common case.
+        if (outstanding_.empty())
+            return false;
         auto it = outstanding_.find(line_addr);
         return it != outstanding_.end() && it->second > issueTime_;
     }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "cpu/batch_kernel.hh"
 #include "fault/d2m_fault_model.hh"
 #include "obs/debug.hh"
 #include "obs/selfprof.hh"
@@ -105,6 +107,9 @@ D2mSystem::D2mSystem(std::string name, const SystemParams &params)
 
     nextPressureEpoch_ = params.nsPressurePeriod;
 
+    mdCache_.resize(params.numNodes * 2);
+    mdCacheOn_ = envU64("D2M_NO_MDCACHE", 0) == 0;
+
     if (faults_) {
         faultModel_ = std::make_unique<D2mFaultModel>(*this);
         faults_->bindHost(faultModel_.get());
@@ -199,8 +204,7 @@ D2mSystem::promoteToMd1(NodeId node, bool side_i, AsId asid, Addr vaddr,
     Md1Entry &slot = md1.victimFor(key);
     if (slot.valid)
         evictMd1Entry(node, side_i, slot);
-    slot.valid = true;
-    slot.key = key;
+    md1.bind(slot, key);
     slot.pregion = e2.key;
     slot.privateBit = e2.privateBit;
     slot.scramble = e2.scramble;
@@ -226,7 +230,17 @@ D2mSystem::lookupMetadata(NodeId node, const MemAccess &acc, bool side_i,
     // MD1 lookup replaces the TLB: virtually tagged, charged like one.
     energy_.count(Structure::Md1);
     const std::uint64_t key = md1Key(acc.asid, acc.vaddr);
-    if (Md1Entry *e1 = md1.find(key)) {
+    MdCacheSlot &mc = mdCache_[node * 2 + side_i];
+    Md1Entry *e1 = nullptr;
+    // Micro-cache fast path: same verify + parity + touch sequence as
+    // find(), minus the set scan. Falls back on any mismatch.
+    if (mdCacheOn_ && mc.key == key) [[likely]] {
+        if ((e1 = md1.recheck(mc.e1, key)))
+            md1.touchEntry(*e1);
+    }
+    if (!e1)
+        e1 = md1.find(key);
+    if (e1) [[likely]] {
         md_level = 0;
         ++events_.md1Hits;
         DTRACE(MD, this, "node%u MD1-%c hit region 0x%llx", node,
@@ -234,9 +248,14 @@ D2mSystem::lookupMetadata(NodeId node, const MemAccess &acc, bool side_i,
                static_cast<unsigned long long>(e1->pregion));
         ActiveMd amd;
         amd.md1 = e1;
-        amd.md2 = ctx.md2->probe(e1->pregion);
+        amd.md2 =
+            mdCacheOn_ ? ctx.md2->recheck(mc.e2, e1->pregion) : nullptr;
+        if (!amd.md2)
+            amd.md2 = ctx.md2->probe(e1->pregion);
         amd.pregion = e1->pregion;
         panic_if(!amd.md2, "MD1 inclusion in MD2 violated");
+        if (mdCacheOn_)
+            mc = {key, e1, amd.md2};
         return amd;
     }
 
@@ -283,11 +302,16 @@ D2mSystem::lookupMetadata(NodeId node, const MemAccess &acc, bool side_i,
         amd.md1 = &e1;
         amd.md2 = e2;
         amd.pregion = pregion;
+        if (mdCacheOn_)
+            mc = {key, amd.md1, amd.md2};
         return amd;
     }
 
     md_level = 2;
-    return caseD(node, side_i, acc.asid, acc.vaddr, pregion, lat);
+    ActiveMd amd = caseD(node, side_i, acc.asid, acc.vaddr, pregion, lat);
+    if (mdCacheOn_)
+        mc = {key, amd.md1, amd.md2};
+    return amd;
 }
 
 D2mSystem::ActiveMd
@@ -324,8 +348,7 @@ D2mSystem::caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
         Md3Entry &slot = md3_->victimFor(pregion, cost);
         if (slot.valid)
             globalMd3Evict(slot);
-        slot.valid = true;
-        slot.key = pregion;
+        md3_->bind(slot, pregion);
         slot.pb = std::uint64_t(1) << node;
         slot.scramble = scrambler_.next();
         DTRACE(Index, this,
@@ -446,8 +469,7 @@ D2mSystem::caseD(NodeId node, bool side_i, AsId asid, Addr vaddr,
     Md2Entry &slot2 = ctx.md2->victimFor(pregion, cost2);
     if (slot2.valid)
         nodeRegionEvict(node, slot2.key);
-    slot2.valid = true;
-    slot2.key = pregion;
+    ctx.md2->bind(slot2, pregion);
     slot2.privateBit = priv;
     slot2.scramble = scramble;
     slot2.li = lis;
@@ -894,7 +916,6 @@ D2mSystem::evictL1Slot(NodeId node, bool side_i, std::uint32_t set,
         evictL2Slot(node, l2set, l2way);
         TaglessLine &slot = l2.at(l2set, l2way);
         slot = line;
-        slot.repl = ReplState{};
         l2.markInstalled(l2set, l2way);
         energy_.count(Structure::L2Data);
         amd.li()[idx] = LocationInfo::inL2(l2way);
@@ -1390,6 +1411,20 @@ D2mSystem::access(NodeId node, const MemAccess &acc, Tick now)
     return res;
 }
 
+void
+D2mSystem::accessBatch(BatchCtx &bc)
+{
+    // Instantiated with the concrete type: access() is final, so the
+    // per-access call in the kernel devirtualizes and inlines.
+    runBatchKernel(*this, bc);
+}
+
+bool
+D2mSystem::laneBatch(LaneBatchCtx &bc)
+{
+    return runLaneBatchKernel(*this, bc);
+}
+
 bool
 D2mSystem::accessConfined(NodeId node, const MemAccess &acc, Addr,
                           Tick now, LaneShadow &sh, AccessResult &res)
@@ -1505,7 +1540,7 @@ D2mSystem::serviceLine(NodeId node, const MemAccess &acc, bool side_i,
     panic_if(li.isInvalid(), "invalid LI in a node's active metadata");
 
     // ---- L1 hit ----------------------------------------------------
-    if (li.kind == LiKind::L1) {
+    if (li.kind == LiKind::L1) [[likely]] {
         TaglessCache &l1 = l1For(node, side_i);
         const std::uint32_t set = l1.setFor(line_addr, md.scramble());
         TaglessLine &slot = l1.at(set, li.way);

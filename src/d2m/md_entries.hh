@@ -17,7 +17,6 @@
 #include <cstdint>
 
 #include "d2m/location_info.hh"
-#include "mem/replacement.hh"
 
 namespace d2m
 {
@@ -37,7 +36,6 @@ struct Md1Entry
     bool privateBit = false;    //!< P bit (Table II classification).
     std::uint32_t scramble = 0; //!< Dynamic-indexing value (IV-D).
     LiVector li{};
-    ReplState repl;
 
     // Fault-model state: entry parity mismatch flag plus the injection
     // timestamp (accesses) used to measure detection latency.
@@ -68,8 +66,6 @@ struct Md2Entry
     std::uint32_t md1Set = 0;
     std::uint32_t md1Way = 0;
 
-    ReplState repl;
-
     bool parityFault = false;   //!< Fault model: parity mismatch.
     std::uint64_t faultAccess = 0;
 };
@@ -87,7 +83,6 @@ struct Md3Entry
      * (Appendix case B note).
      */
     LiVector li{};
-    ReplState repl;
 
     bool parityFault = false;   //!< Fault model: parity mismatch.
     std::uint64_t faultAccess = 0;

@@ -7,6 +7,18 @@
  * virtually-tagged MD1. Victim selection can be cost-biased, which the
  * metadata stores use to prefer evicting regions that track few
  * cachelines (Section II-A) or have few sharers (MD3).
+ *
+ * Hot-field SoA layout: the entry structs carry whole LI vectors, so a
+ * tag scan over the full Entry array touches one distant cache line
+ * per way. The store therefore keeps two packed parallel arrays:
+ *  - keys_: the probe mirror, written only by bind(). Probes scan this
+ *    packed array and verify candidates against the authoritative
+ *    entry (e.valid && e.key), so invalidation paths never have to
+ *    maintain the mirror — a stale mirror slot is filtered, and a
+ *    false negative is impossible because bind() is the only way an
+ *    entry becomes valid for a key.
+ *  - replStates_: per-way replacement state, handed to the policy as a
+ *    contiguous slice (no per-eviction pointer-vector fill).
  */
 
 #ifndef D2M_D2M_REGION_STORE_HH
@@ -25,8 +37,9 @@ namespace d2m
 
 /** Set-associative array of region entries of type @p Entry.
  *
- * @p Entry must provide: bool valid, std::uint64_t key, ReplState repl,
- * and the fault-model fields bool parityFault / uint64_t faultAccess.
+ * @p Entry must provide: bool valid, std::uint64_t key, and the
+ * fault-model fields bool parityFault / uint64_t faultAccess.
+ * Replacement state lives in the store, not the entry.
  *
  * Every read path that hands out a mutable entry (find / probe / at /
  * victimFor) models the per-entry parity check of the fault model: if
@@ -49,7 +62,10 @@ class RegionStore : public SimObject
         fatal_if(!isPowerOf2(sets_), "region store sets must be 2^k");
         assoc_ = assoc;
         entries_.resize(entries);
-        victimScratch_.resize(assoc_);
+        // ~0 is an implausible region key; even if it ever occurred,
+        // a mirror match is only a candidate (verified below).
+        keys_.resize(entries, ~std::uint64_t{0});
+        replStates_.resize(entries);
         repl_ = makeReplacement(repl);
     }
 
@@ -73,7 +89,7 @@ class RegionStore : public SimObject
     {
         Entry *e = probe(key);
         if (e)
-            repl_->touch(e->repl, ++clock_);
+            repl_->touch(replStates_[indexOf(*e)], ++clock_);
         return e;
     }
 
@@ -88,9 +104,12 @@ class RegionStore : public SimObject
     Entry *
     probeRaw(std::uint64_t key)
     {
-        const std::uint32_t set = setOf(key);
+        const std::uint32_t base = setOf(key) * assoc_;
+        const std::uint64_t *keys = keys_.data() + base;
         for (std::uint32_t w = 0; w < assoc_; ++w) {
-            Entry &e = entries_[set * assoc_ + w];
+            if (keys[w] != key)
+                continue;
+            Entry &e = entries_[base + w];
             if (e.valid && e.key == key)
                 return &e;
         }
@@ -104,35 +123,46 @@ class RegionStore : public SimObject
     }
 
     /**
+     * Make @p e (a slot of this store) the valid entry for @p key and
+     * record the key in the packed probe mirror. Every install must go
+     * through here; invalidation paths just clear e.valid.
+     */
+    void
+    bind(Entry &e, std::uint64_t key)
+    {
+        e.valid = true;
+        e.key = key;
+        keys_[indexOf(e)] = key;
+    }
+
+    /**
      * Choose a victim slot in @p key's set. Invalid slots win;
      * otherwise @p cost_of (if provided) biases toward cheap victims.
      * The caller must clean out a valid victim before reuse.
      */
     Entry &
-    victimFor(std::uint64_t key,
-              const std::function<double(const Entry &)> &cost_of = {})
+    victimFor(std::uint64_t key)
     {
-        const std::uint32_t set = setOf(key);
-        for (std::uint32_t w = 0; w < assoc_; ++w) {
-            Entry &e = entries_[set * assoc_ + w];
-            if (!e.valid)
-                return e;
-        }
-        for (std::uint32_t w = 0; w < assoc_; ++w)
-            victimScratch_[w] = &entries_[set * assoc_ + w].repl;
+        return victimImpl(key, ReplCostFn{});
+    }
+
+    template <typename CostFn>
+    Entry &
+    victimFor(std::uint64_t key, const CostFn &cost_of)
+    {
+        const std::uint32_t base = setOf(key) * assoc_;
         auto cost = [&](std::uint32_t w) {
-            return cost_of ? cost_of(entries_[set * assoc_ + w]) : 0.0;
+            return cost_of(entries_[base + w]);
         };
-        const std::uint32_t w = repl_->victim(victimScratch_, cost);
-        Entry &victim = entries_[set * assoc_ + w];
-        // A corrupted victim must be recovered before its LIs are
-        // consumed by the eviction path.
-        parityChecked(&victim);
-        return victim;
+        return victimImpl(key, ReplCostFn(cost));
     }
 
     /** Stamp @p e as freshly installed. */
-    void markInstalled(Entry &e) { repl_->install(e.repl, ++clock_); }
+    void
+    markInstalled(Entry &e)
+    {
+        repl_->install(replStates_[indexOf(e)], ++clock_);
+    }
 
     /** Entry at an explicit (set, way) — models TP-style pointers. */
     Entry &
@@ -155,6 +185,28 @@ class RegionStore : public SimObject
     }
 
     /**
+     * Re-validate a cached entry pointer for @p key: the same checks
+     * and parity side effects as probe(), without the set scan. Safe
+     * because entries_ never reallocates.
+     * @return @p e if it is still the live entry for @p key, else
+     * nullptr (caller falls back to the full lookup).
+     */
+    Entry *
+    recheck(Entry *e, std::uint64_t key)
+    {
+        if (!e || !e->valid || e->key != key)
+            return nullptr;
+        return parityChecked(e);
+    }
+
+    /** find()'s recency update for an already-probed entry. */
+    void
+    touchEntry(Entry &e)
+    {
+        repl_->touch(replStates_[indexOf(e)], ++clock_);
+    }
+
+    /**
      * Install the fault-model parity handler: invoked with any marked
      * entry about to be handed to a mutating reader. The flag is
      * cleared *before* the handler runs, so recovery may re-read the
@@ -170,7 +222,7 @@ class RegionStore : public SimObject
     std::pair<std::uint32_t, std::uint32_t>
     positionOf(const Entry &e) const
     {
-        const auto idx = static_cast<std::uint32_t>(&e - entries_.data());
+        const auto idx = indexOf(e);
         return {idx / assoc_, idx % assoc_};
     }
 
@@ -198,6 +250,30 @@ class RegionStore : public SimObject
     std::uint32_t assoc() const { return assoc_; }
 
   private:
+    std::uint32_t
+    indexOf(const Entry &e) const
+    {
+        return static_cast<std::uint32_t>(&e - entries_.data());
+    }
+
+    Entry &
+    victimImpl(std::uint64_t key, ReplCostFn cost)
+    {
+        const std::uint32_t base = setOf(key) * assoc_;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Entry &e = entries_[base + w];
+            if (!e.valid)
+                return e;
+        }
+        const std::uint32_t w =
+            repl_->victim(replStates_.data() + base, assoc_, cost);
+        Entry &victim = entries_[base + w];
+        // A corrupted victim must be recovered before its LIs are
+        // consumed by the eviction path.
+        parityChecked(&victim);
+        return victim;
+    }
+
     /** Model the per-entry parity check on a mutable read. */
     Entry *
     parityChecked(Entry *e)
@@ -217,9 +293,10 @@ class RegionStore : public SimObject
     std::uint32_t sets_ = 0;
     std::uint32_t assoc_ = 0;
     std::vector<Entry> entries_;
-    /** Per-set victim-selection scratch: avoids one heap allocation on
-     * every eviction (the stores sit on the miss path). */
-    std::vector<ReplState *> victimScratch_;
+    /** Packed probe mirror of entry keys (see file comment). */
+    std::vector<std::uint64_t> keys_;
+    /** Per-way replacement state, contiguous per set. */
+    std::vector<ReplState> replStates_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
     std::function<void(Entry &)> parityHandler_;

@@ -50,7 +50,6 @@ struct TaglessLine
     LocationInfo rp = LocationInfo::mem();
     /** For LLC replica slots: the node whose MD2 tracks this replica. */
     NodeId ownerNode = invalidNode;
-    ReplState repl;
 
     // Fault-model state: XOR mask of injected (ECC-correctable) bit
     // flips currently corrupting `value`, and the injection timestamp.
@@ -87,7 +86,7 @@ class TaglessCache : public SimObject
                  unsigned line_shift, bool scrambled = false)
         : SimObject(std::move(name), parent),
           geom_(total_lines, assoc, line_shift), lines_(total_lines),
-          victimScratch_(assoc), repl_(makeReplacement(ReplKind::LRU)),
+          replStates_(total_lines), repl_(makeReplacement(ReplKind::LRU)),
           scrambled_(scrambled)
     {}
 
@@ -131,14 +130,17 @@ class TaglessCache : public SimObject
     void
     touch(std::uint32_t set, std::uint32_t way)
     {
-        repl_->touch(at(set, way).repl, ++clock_);
+        // at() first: a touch models an access, so the ECC check runs.
+        at(set, way);
+        repl_->touch(replStates_[set * geom_.assoc() + way], ++clock_);
     }
 
     /** Stamp a slot freshly installed. */
     void
     markInstalled(std::uint32_t set, std::uint32_t way)
     {
-        repl_->install(at(set, way).repl, ++clock_);
+        at(set, way);
+        repl_->install(replStates_[set * geom_.assoc() + way], ++clock_);
     }
 
     /** Choose a victim way in @p set (invalid ways first). */
@@ -149,9 +151,8 @@ class TaglessCache : public SimObject
             if (!at(set, w).valid)
                 return w;
         }
-        for (std::uint32_t w = 0; w < geom_.assoc(); ++w)
-            victimScratch_[w] = &at(set, w).repl;
-        return repl_->victim(victimScratch_, nullptr);
+        return repl_->victim(replStates_.data() + set * geom_.assoc(),
+                             geom_.assoc(), nullptr);
     }
 
     /** @return true if (set, way) holds the MRU line of its set —
@@ -159,10 +160,11 @@ class TaglessCache : public SimObject
     bool
     isMru(std::uint32_t set, std::uint32_t way) const
     {
-        const auto &line = at(set, way);
+        const std::uint32_t base = set * geom_.assoc();
+        const std::uint64_t touch = replStates_[base + way].lastTouch;
         for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
             if (w != way && at(set, w).valid &&
-                at(set, w).repl.lastTouch > line.repl.lastTouch) {
+                replStates_[base + w].lastTouch > touch) {
                 return false;
             }
         }
@@ -193,8 +195,8 @@ class TaglessCache : public SimObject
 
     SetAssocGeometry geom_;
     std::vector<TaglessLine> lines_;
-    /** Victim-selection scratch: no heap allocation per eviction. */
-    std::vector<ReplState *> victimScratch_;
+    /** Per-line replacement state, contiguous per set (SoA). */
+    std::vector<ReplState> replStates_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::uint64_t clock_ = 0;
     bool scrambled_ = false;

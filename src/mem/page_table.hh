@@ -11,6 +11,7 @@
 #ifndef D2M_MEM_PAGE_TABLE_HH
 #define D2M_MEM_PAGE_TABLE_HH
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -52,6 +53,14 @@ class PageTable
     translate(AsId asid, Addr vaddr)
     {
         const std::uint64_t vpage = vaddr >> pageShift_;
+        const Addr offset = vaddr & ((Addr(1) << pageShift_) - 1);
+        // Micro-TLB fast path: frames never move once assigned
+        // (identity frames are arithmetic, demand frames allocate
+        // once), and a cached page already counted its first touch,
+        // so a hit is observationally identical to the full walk.
+        TlbSlot &slot = tlb_[asid & (kTlbSlots - 1)];
+        if (slot.vpage == vpage && slot.asid == asid) [[likely]]
+            return (slot.frame << pageShift_) | offset;
         std::uint64_t frame;
         if (mode_ == Mode::Identity) {
             frame = vpage + (std::uint64_t(asid) << 24);
@@ -68,7 +77,9 @@ class PageTable
                 frame = it->second;
             }
         }
-        const Addr offset = vaddr & ((Addr(1) << pageShift_) - 1);
+        slot.vpage = vpage;
+        slot.asid = asid;
+        slot.frame = frame;
         return (frame << pageShift_) | offset;
     }
 
@@ -126,8 +137,23 @@ class PageTable
         }
     };
 
+    /**
+     * Direct-mapped micro-TLB over translate(), one slot per low
+     * asid bits (per-core streams land in distinct slots). Serial
+     * paths only: lane threads translate through translateShadowed()
+     * and never read or write these slots.
+     */
+    struct TlbSlot
+    {
+        std::uint64_t vpage = ~std::uint64_t{0};
+        std::uint64_t frame = 0;
+        AsId asid = ~AsId{0};
+    };
+    static constexpr unsigned kTlbSlots = 16;
+
     unsigned pageShift_;
     Mode mode_;
+    std::array<TlbSlot, kTlbSlots> tlb_{};
     std::uint64_t nextFrame_ = 1;  // frame 0 reserved
     std::uint64_t pages_ = 0;
     FlatMap<Key, std::uint64_t, KeyHash> map_;

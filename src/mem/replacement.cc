@@ -8,41 +8,38 @@ namespace d2m
 {
 
 std::uint32_t
-LruPolicy::victim(const std::vector<ReplState *> &ways,
-                  const std::function<double(std::uint32_t)> &)
+LruPolicy::victim(const ReplState *ways, std::uint32_t n, ReplCostFn)
 {
-    panic_if(ways.empty(), "victim selection over zero ways");
+    panic_if(n == 0, "victim selection over zero ways");
     std::uint32_t best = 0;
-    for (std::uint32_t i = 1; i < ways.size(); ++i) {
-        if (ways[i]->lastTouch < ways[best]->lastTouch)
+    for (std::uint32_t i = 1; i < n; ++i) {
+        if (ways[i].lastTouch < ways[best].lastTouch)
             best = i;
     }
     return best;
 }
 
 std::uint32_t
-RandomPolicy::victim(const std::vector<ReplState *> &ways,
-                     const std::function<double(std::uint32_t)> &)
+RandomPolicy::victim(const ReplState *, std::uint32_t n, ReplCostFn)
 {
-    panic_if(ways.empty(), "victim selection over zero ways");
-    return static_cast<std::uint32_t>(rng_.below(ways.size()));
+    panic_if(n == 0, "victim selection over zero ways");
+    return static_cast<std::uint32_t>(rng_.below(n));
 }
 
 std::uint32_t
-CostAwareLruPolicy::victim(
-    const std::vector<ReplState *> &ways,
-    const std::function<double(std::uint32_t)> &cost_of)
+CostAwareLruPolicy::victim(const ReplState *ways, std::uint32_t n,
+                           ReplCostFn cost_of)
 {
-    panic_if(ways.empty(), "victim selection over zero ways");
+    panic_if(n == 0, "victim selection over zero ways");
 
     // Rank ways by recency: oldest gets rank 0.
     std::uint32_t best = 0;
     double best_score = std::numeric_limits<double>::infinity();
-    for (std::uint32_t i = 0; i < ways.size(); ++i) {
+    for (std::uint32_t i = 0; i < n; ++i) {
         // Recency rank computed as the number of ways older than i.
         unsigned rank = 0;
-        for (std::uint32_t j = 0; j < ways.size(); ++j) {
-            if (ways[j]->lastTouch < ways[i]->lastTouch)
+        for (std::uint32_t j = 0; j < n; ++j) {
+            if (ways[j].lastTouch < ways[i].lastTouch)
                 ++rank;
         }
         const double cost = cost_of ? cost_of(i) : 0.0;

@@ -3,7 +3,12 @@
  * Replacement policy interfaces and implementations.
  *
  * Policies operate on one set at a time through small per-way state
- * blocks. Three policies are provided:
+ * blocks. The caller hands victim() a contiguous slice of per-way
+ * ReplState (the stores keep replacement state in a packed parallel
+ * array, not inside the line/entry structs), so a set scan touches
+ * one or two cache lines instead of chasing N pointers.
+ *
+ * Three policies are provided:
  *  - LRU: classic least-recently-used.
  *  - Random: deterministic pseudo-random victim choice.
  *  - CostAwareLru: LRU biased by an externally supplied eviction cost,
@@ -15,10 +20,9 @@
 #define D2M_MEM_REPLACEMENT_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <vector>
 
+#include "common/func_ref.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -30,6 +34,9 @@ struct ReplState
 {
     std::uint64_t lastTouch = 0;
 };
+
+/** Eviction-cost callback for cost-aware policies (way index in). */
+using ReplCostFn = FuncRef<double(std::uint32_t)>;
 
 /** Abstract replacement policy over the ways of one set. */
 class ReplacementPolicy
@@ -44,14 +51,14 @@ class ReplacementPolicy
     virtual void install(ReplState &state, Tick now) = 0;
 
     /**
-     * Pick a victim among @p ways. @p cost_of gives the eviction cost
-     * of each way (ignored by cost-oblivious policies); invalid ways
-     * are pre-filtered by the caller.
-     * @return the index into @p ways of the chosen victim.
+     * Pick a victim among the @p n ways whose replacement state sits
+     * at @p ways. @p cost_of gives the eviction cost of each way
+     * (ignored by cost-oblivious policies); invalid ways are
+     * pre-filtered by the caller.
+     * @return the index of the chosen victim.
      */
-    virtual std::uint32_t
-    victim(const std::vector<ReplState *> &ways,
-           const std::function<double(std::uint32_t)> &cost_of) = 0;
+    virtual std::uint32_t victim(const ReplState *ways, std::uint32_t n,
+                                 ReplCostFn cost_of) = 0;
 };
 
 /** Least-recently-used. */
@@ -64,9 +71,8 @@ class LruPolicy : public ReplacementPolicy
         state.lastTouch = now;
     }
 
-    std::uint32_t
-    victim(const std::vector<ReplState *> &ways,
-           const std::function<double(std::uint32_t)> &) override;
+    std::uint32_t victim(const ReplState *ways, std::uint32_t n,
+                         ReplCostFn cost_of) override;
 };
 
 /** Deterministic pseudo-random replacement. */
@@ -78,9 +84,8 @@ class RandomPolicy : public ReplacementPolicy
     void touch(ReplState &, Tick) override {}
     void install(ReplState &, Tick) override {}
 
-    std::uint32_t
-    victim(const std::vector<ReplState *> &ways,
-           const std::function<double(std::uint32_t)> &) override;
+    std::uint32_t victim(const ReplState *ways, std::uint32_t n,
+                         ReplCostFn cost_of) override;
 
   private:
     Rng rng_;
@@ -104,9 +109,8 @@ class CostAwareLruPolicy : public ReplacementPolicy
         state.lastTouch = now;
     }
 
-    std::uint32_t
-    victim(const std::vector<ReplState *> &ways,
-           const std::function<double(std::uint32_t)> &cost_of) override;
+    std::uint32_t victim(const ReplState *ways, std::uint32_t n,
+                         ReplCostFn cost_of) override;
 
   private:
     double costWeight_;

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Batched access-kernel equivalence (cpu/batch_kernel.hh, DESIGN.md
+ * §17).
+ *
+ * The contract under test: the data-oriented micro-batched kernel is a
+ * pure host-side optimization — for ANY batch size, the statistics
+ * tree and every simulated RunResult field are byte-identical to the
+ * classic per-access loop (D2M_BATCH=0), and the MD1 micro-cache
+ * (D2M_NO_MDCACHE toggles it) never shows in the stats. Covered:
+ * serial and lane-parallel (k=1 and k=4) loops, D2M and Base-3L,
+ * warmup-reset and invariant-check batch edges, 1-tick lane windows,
+ * and a fault-injection interleave whose parity recovery and region
+ * churn stress the micro-cache's self-validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/multicore.hh"
+#include "harness/configs.hh"
+#include "workload/suites.hh"
+
+namespace d2m
+{
+namespace
+{
+
+WorkloadParams
+hotWorkload(unsigned seed = 7)
+{
+    WorkloadParams p;
+    p.instructionsPerCore = 12'000;
+    p.sharedFootprint = 64 * 1024;
+    p.sharedFraction = 0.25;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<std::unique_ptr<AccessStream>>
+streamsFor(const WorkloadParams &p, unsigned cores)
+{
+    std::vector<std::unique_ptr<AccessStream>> v;
+    for (unsigned c = 0; c < cores; ++c)
+        v.push_back(std::make_unique<SyntheticStream>(p, c, 64));
+    return v;
+}
+
+struct KernelRun
+{
+    RunResult r;
+    std::string stats;  //!< Full post-run stats tree, JSON.
+};
+
+struct RunKnobs
+{
+    std::uint64_t batch = 0;     //!< 0 = classic per-access loop.
+    unsigned laneJobs = 0;       //!< 0 = serial loop.
+    Tick laneWindow = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t invPeriod = 0;
+    bool mdCacheOff = false;     //!< Construct under D2M_NO_MDCACHE=1.
+};
+
+KernelRun
+runWith(ConfigKind kind, const SystemParams &base,
+        const WorkloadParams &p, const RunKnobs &k)
+{
+    // The knob is read once in the system constructor.
+    if (k.mdCacheOff)
+        ::setenv("D2M_NO_MDCACHE", "1", 1);
+    else
+        ::unsetenv("D2M_NO_MDCACHE");
+    auto sys = makeSystem(kind, base);
+    ::unsetenv("D2M_NO_MDCACHE");
+
+    auto streams = streamsFor(p, sys->params().numNodes);
+    RunOptions opts;
+    opts.batch = k.batch;  // explicit: never fall back to D2M_BATCH
+    opts.laneJobs = k.laneJobs;
+    opts.laneWindow = k.laneWindow;
+    opts.warmupInstsPerCore = k.warmup;
+    opts.invariantCheckPeriod = k.invPeriod;
+    KernelRun kr;
+    kr.r = runMulticore(*sys, streams, opts);
+    std::ostringstream os;
+    sys->printJson(os);
+    kr.stats = os.str();
+    return kr;
+}
+
+void
+expectEqualRuns(const KernelRun &ref, const KernelRun &got,
+                const std::string &what)
+{
+    EXPECT_EQ(ref.stats, got.stats) << what << ": stats tree diverged";
+    EXPECT_EQ(ref.r.cycles, got.r.cycles) << what;
+    EXPECT_EQ(ref.r.instructions, got.r.instructions) << what;
+    EXPECT_EQ(ref.r.accesses, got.r.accesses) << what;
+    EXPECT_EQ(ref.r.lateHitsI, got.r.lateHitsI) << what;
+    EXPECT_EQ(ref.r.lateHitsD, got.r.lateHitsD) << what;
+    EXPECT_EQ(ref.r.mergedMissesI, got.r.mergedMissesI) << what;
+    EXPECT_EQ(ref.r.mergedMissesD, got.r.mergedMissesD) << what;
+    EXPECT_EQ(ref.r.totalAccessLatency, got.r.totalAccessLatency)
+        << what;
+    EXPECT_EQ(ref.r.valueErrors, got.r.valueErrors) << what;
+    EXPECT_EQ(ref.r.invariantErrors, got.r.invariantErrors) << what;
+    EXPECT_EQ(ref.r.firstError, got.r.firstError) << what;
+}
+
+// ---- Serial loop: batched vs classic --------------------------------
+
+TEST(HotpathEquiv, SerialBatchedMatchesClassicEveryBatchSize)
+{
+    // Warmup and invariant checks on, so the stats-reset edge and the
+    // periodic check land at arbitrary offsets inside a batch. Batch
+    // sizes cover the degenerate 1, a prime that never divides the
+    // run length, the default 64, and one larger than the whole run.
+    const auto p = hotWorkload(11);
+    for (ConfigKind kind : {ConfigKind::D2mNsR, ConfigKind::Base3L}) {
+        RunKnobs classic;
+        classic.warmup = 4'000;
+        classic.invPeriod = 2'000;
+        const KernelRun ref = runWith(kind, {}, p, classic);
+        EXPECT_EQ(ref.r.valueErrors, 0u) << ref.r.firstError;
+        EXPECT_EQ(ref.r.invariantErrors, 0u) << ref.r.firstError;
+        for (std::uint64_t b : {1ull, 7ull, 64ull, 1'000'000ull}) {
+            RunKnobs knobs = classic;
+            knobs.batch = b;
+            const KernelRun got = runWith(kind, {}, p, knobs);
+            expectEqualRuns(ref, got,
+                            std::string(configKindName(kind)) +
+                                " batch=" + std::to_string(b));
+        }
+    }
+}
+
+TEST(HotpathEquiv, AllConfigsDefaultBatchMatchesClassic)
+{
+    WorkloadParams p = hotWorkload(5);
+    p.instructionsPerCore = 6'000;
+    for (ConfigKind kind : allConfigs()) {
+        RunKnobs classic;
+        const KernelRun ref = runWith(kind, {}, p, classic);
+        RunKnobs batched;
+        batched.batch = 64;
+        const KernelRun got = runWith(kind, {}, p, batched);
+        expectEqualRuns(ref, got, configKindName(kind));
+        EXPECT_EQ(got.r.valueErrors, 0u)
+            << configKindName(kind) << ": " << got.r.firstError;
+    }
+}
+
+// ---- MD1 micro-cache: on vs off -------------------------------------
+
+TEST(HotpathEquiv, MdCacheOffIsBitIdentical)
+{
+    // The micro-cache is a pure lookup shortcut: killing it with
+    // D2M_NO_MDCACHE=1 must not move a single stat, in the classic
+    // and in the batched loop.
+    const auto p = hotWorkload(17);
+    for (ConfigKind kind : {ConfigKind::D2mNsR, ConfigKind::D2mFs}) {
+        for (std::uint64_t b : {0ull, 64ull}) {
+            RunKnobs on;
+            on.batch = b;
+            on.warmup = 3'000;
+            RunKnobs off = on;
+            off.mdCacheOff = true;
+            const KernelRun ref = runWith(kind, {}, p, on);
+            const KernelRun got = runWith(kind, {}, p, off);
+            expectEqualRuns(ref, got,
+                            std::string(configKindName(kind)) +
+                                " mdcache batch=" + std::to_string(b));
+        }
+    }
+}
+
+// ---- Lane loop: batched vs classic at the same lane count -----------
+
+TEST(HotpathEquiv, LaneBatchedMatchesLaneClassic)
+{
+    // Lane mode's windowed schedule is part of the simulated model, so
+    // the reference here is the classic INLINE lane loop at the same
+    // k, not the serial loop. Covers k=1 (single-lane windows) and
+    // k=4, plus a 1-tick window where every batch is cut short by the
+    // lookahead edge.
+    const auto p = hotWorkload(23);
+    for (ConfigKind kind : {ConfigKind::D2mNsR, ConfigKind::Base3L}) {
+        for (unsigned k : {1u, 4u}) {
+            for (Tick w : {Tick{0}, Tick{1}}) {
+                RunKnobs classic;
+                classic.laneJobs = k;
+                classic.laneWindow = w;
+                classic.warmup = 4'000;
+                classic.invPeriod = 2'000;
+                RunKnobs batched = classic;
+                batched.batch = 64;
+                const KernelRun ref = runWith(kind, {}, p, classic);
+                const KernelRun got = runWith(kind, {}, p, batched);
+                expectEqualRuns(
+                    ref, got,
+                    std::string(configKindName(kind)) + " k=" +
+                        std::to_string(k) + " w=" + std::to_string(w));
+                EXPECT_EQ(got.r.valueErrors, 0u)
+                    << configKindName(kind) << ": "
+                    << got.r.firstError;
+            }
+        }
+    }
+}
+
+TEST(HotpathEquiv, LaneCountInvarianceHoldsBatched)
+{
+    // The lane-sim contract (stats independent of k) must survive the
+    // batched kernel: k=1 and k=4 batched runs are byte-identical.
+    const auto p = hotWorkload(31);
+    RunKnobs one;
+    one.batch = 64;
+    one.laneJobs = 1;
+    RunKnobs four = one;
+    four.laneJobs = 4;
+    const KernelRun ref = runWith(ConfigKind::D2mNsR, {}, p, one);
+    const KernelRun got = runWith(ConfigKind::D2mNsR, {}, p, four);
+    expectEqualRuns(ref, got, "batched k=1 vs k=4");
+}
+
+// ---- Fault-injection interleave -------------------------------------
+
+SystemParams
+faultedParams()
+{
+    // Meta flips + parity recovery mutate MD entries in place; data
+    // loss triggers region churn; NoC drops retransmit. All of it
+    // interleaves with the micro-cache, whose self-validation must
+    // keep it stats-invisible.
+    SystemParams p;
+    p.fault.enabled = true;
+    p.fault.metaFlipsPerMillion = 60;
+    p.fault.dataFlipsPerMillion = 60;
+    p.fault.dataLossPerMillion = 15;
+    p.fault.nocDropPerMillion = 10;
+    p.fault.nocDelayPerMillion = 10;
+    p.fault.parityDetection = true;
+    p.fault.sweepPeriod = 2'000;
+    p.fault.seed = 99;
+    return p;
+}
+
+TEST(HotpathEquiv, FaultInterleaveBatchedMatchesClassic)
+{
+    // A big footprint forces region evictions between the faults, so
+    // micro-cache slots go stale both ways (evicted keys and in-place
+    // recovery rewrites) at arbitrary batch offsets.
+    WorkloadParams p = hotWorkload(43);
+    p.sharedFootprint = 512 * 1024;
+    p.sharedFraction = 0.4;
+    const SystemParams base = faultedParams();
+    for (ConfigKind kind : {ConfigKind::D2mNsR, ConfigKind::Base3L}) {
+        RunKnobs classic;
+        classic.warmup = 2'000;
+        classic.invPeriod = 2'000;
+        const KernelRun ref = runWith(kind, base, p, classic);
+        EXPECT_EQ(ref.r.valueErrors, 0u) << ref.r.firstError;
+        EXPECT_EQ(ref.r.invariantErrors, 0u) << ref.r.firstError;
+        RunKnobs batched = classic;
+        batched.batch = 64;
+        const KernelRun got = runWith(kind, base, p, batched);
+        expectEqualRuns(ref, got,
+                        std::string(configKindName(kind)) + " faulted");
+    }
+}
+
+TEST(HotpathEquiv, FaultInterleaveMdCacheOffIsBitIdentical)
+{
+    // The sharpest micro-cache test: under fault recovery the cached
+    // entry pointers see in-place mutation, and under region churn the
+    // key check must catch every reuse. On vs off must still be
+    // byte-identical, classic and batched.
+    WorkloadParams p = hotWorkload(47);
+    p.sharedFootprint = 512 * 1024;
+    p.sharedFraction = 0.4;
+    const SystemParams base = faultedParams();
+    for (std::uint64_t b : {0ull, 64ull}) {
+        RunKnobs on;
+        on.batch = b;
+        RunKnobs off = on;
+        off.mdCacheOff = true;
+        const KernelRun ref = runWith(ConfigKind::D2mNsR, base, p, on);
+        const KernelRun got = runWith(ConfigKind::D2mNsR, base, p, off);
+        expectEqualRuns(ref, got,
+                        "faulted mdcache batch=" + std::to_string(b));
+    }
+}
+
+} // namespace
+} // namespace d2m

@@ -19,8 +19,7 @@ TEST(RegionStore, FindAfterInstall)
     RegionStore<Md2Entry> store("md2", &parent, 64, 8);
     Md2Entry &slot = store.victimFor(0x42);
     EXPECT_FALSE(slot.valid);
-    slot.valid = true;
-    slot.key = 0x42;
+    store.bind(slot, 0x42);
     store.markInstalled(slot);
     EXPECT_EQ(store.find(0x42), &slot);
     EXPECT_EQ(store.find(0x43), nullptr);
@@ -34,8 +33,7 @@ TEST(RegionStore, SetConflictEviction)
     for (std::uint64_t key : {0ull, 8ull}) {
         Md2Entry &s = store.victimFor(key);
         EXPECT_FALSE(s.valid);
-        s.valid = true;
-        s.key = key;
+        store.bind(s, key);
         store.markInstalled(s);
     }
     Md2Entry &victim = store.victimFor(16);
@@ -49,8 +47,7 @@ TEST(RegionStore, CostBiasedVictim)
     RegionStore<Md2Entry> store("md2", &parent, 4, 4);  // 1 set, 4 ways
     for (std::uint64_t key = 0; key < 4; ++key) {
         Md2Entry &s = store.victimFor(key * 1);
-        s.valid = true;
-        s.key = key;
+        store.bind(s, key);
         s.scramble = static_cast<std::uint32_t>(key);  // cost proxy
         store.markInstalled(s);
     }
@@ -66,8 +63,7 @@ TEST(RegionStore, PositionOfRoundTrip)
     SimObject parent("sys");
     RegionStore<Md1Entry> store("md1", &parent, 32, 4);
     Md1Entry &slot = store.victimFor(21);
-    slot.valid = true;
-    slot.key = 21;
+    store.bind(slot, 21);
     store.markInstalled(slot);
     const auto [set, way] = store.positionOf(slot);
     EXPECT_EQ(&store.at(set, way), &slot);
@@ -80,8 +76,7 @@ TEST(RegionStore, ForEachVisitsOnlyValid)
     RegionStore<Md3Entry> store("md3", &parent, 32, 4);
     for (std::uint64_t key : {3ull, 7ull, 11ull}) {
         Md3Entry &s = store.victimFor(key);
-        s.valid = true;
-        s.key = key;
+        store.bind(s, key);
         store.markInstalled(s);
     }
     unsigned count = 0;
@@ -95,8 +90,7 @@ TEST(RegionStore, LruRecencyViaFind)
     RegionStore<Md2Entry> store("md2", &parent, 2, 2);  // 1 set, 2 ways
     for (std::uint64_t key : {0ull, 1ull}) {
         Md2Entry &s = store.victimFor(key);
-        s.valid = true;
-        s.key = key;
+        store.bind(s, key);
         store.markInstalled(s);
     }
     store.find(0);  // key 0 becomes MRU

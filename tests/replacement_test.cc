@@ -2,6 +2,8 @@
  * @file
  * Tests for the replacement policies, including the cost-aware LRU
  * that the metadata stores use to prefer cheap victims (Section II-A).
+ * Policies consume a contiguous slice of per-way state — the packed
+ * parallel-array layout the stores keep (no pointer indirection).
  */
 
 #include <gtest/gtest.h>
@@ -13,15 +15,6 @@ namespace d2m
 namespace
 {
 
-std::vector<ReplState *>
-ptrs(std::vector<ReplState> &v)
-{
-    std::vector<ReplState *> out;
-    for (auto &s : v)
-        out.push_back(&s);
-    return out;
-}
-
 TEST(Replacement, LruPicksOldest)
 {
     LruPolicy lru;
@@ -29,29 +22,28 @@ TEST(Replacement, LruPicksOldest)
     for (unsigned i = 0; i < 4; ++i)
         lru.install(ways[i], i + 1);
     lru.touch(ways[0], 10);  // way 0 becomes newest
-    auto w = ptrs(ways);
-    EXPECT_EQ(lru.victim(w, nullptr), 1u);  // way 1 now oldest
+    EXPECT_EQ(lru.victim(ways.data(), 4, nullptr), 1u);  // way 1 oldest
     lru.touch(ways[1], 11);
-    EXPECT_EQ(lru.victim(w, nullptr), 2u);
+    EXPECT_EQ(lru.victim(ways.data(), 4, nullptr), 2u);
 }
 
 TEST(Replacement, RandomIsDeterministicPerSeed)
 {
     RandomPolicy a(5), b(5);
     std::vector<ReplState> ways(8);
-    auto w = ptrs(ways);
-    for (int i = 0; i < 100; ++i)
-        EXPECT_EQ(a.victim(w, nullptr), b.victim(w, nullptr));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.victim(ways.data(), 8, nullptr),
+                  b.victim(ways.data(), 8, nullptr));
+    }
 }
 
 TEST(Replacement, RandomCoversAllWays)
 {
     RandomPolicy p(7);
     std::vector<ReplState> ways(4);
-    auto w = ptrs(ways);
     std::vector<bool> seen(4, false);
     for (int i = 0; i < 200; ++i)
-        seen[p.victim(w, nullptr)] = true;
+        seen[p.victim(ways.data(), 4, nullptr)] = true;
     for (bool s : seen)
         EXPECT_TRUE(s);
 }
@@ -62,13 +54,12 @@ TEST(Replacement, CostAwarePrefersCheapVictims)
     std::vector<ReplState> ways(4);
     for (unsigned i = 0; i < 4; ++i)
         p.install(ways[i], i + 1);
-    auto w = ptrs(ways);
     // Way 0 is oldest but very expensive; way 3 newest but free:
     // cost * 2 + recency_rank decides.
     auto cost = [](std::uint32_t way) {
         return way == 0 ? 100.0 : 0.0;
     };
-    EXPECT_EQ(p.victim(w, cost), 1u);  // oldest of the cheap ones
+    EXPECT_EQ(p.victim(ways.data(), 4, cost), 1u);  // oldest cheap one
 }
 
 TEST(Replacement, CostAwareDegradesToLruOnEqualCost)
@@ -77,9 +68,8 @@ TEST(Replacement, CostAwareDegradesToLruOnEqualCost)
     std::vector<ReplState> ways(4);
     for (unsigned i = 0; i < 4; ++i)
         p.install(ways[i], 10 - i);  // way 3 oldest
-    auto w = ptrs(ways);
     auto flat = [](std::uint32_t) { return 1.0; };
-    EXPECT_EQ(p.victim(w, flat), 3u);
+    EXPECT_EQ(p.victim(ways.data(), 4, flat), 3u);
 }
 
 TEST(Replacement, FactoryProducesAllKinds)
